@@ -1,0 +1,33 @@
+// Ablation (design decision ◆1/◆7 in DESIGN.md): processor allocation for
+// fresh starts under local preemption. Suspended jobs must resume on their
+// exact processors; if fresh jobs are allowed to squat on those processors,
+// suspended (mostly long) jobs strand and the whole schedule stretches.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Ablation — allocation preference for suspended jobs' "
+                "processors",
+                "local-preemption constraint (Sections II-C, IV-C)");
+  const auto trace = bench::sdscTrace();
+
+  core::PolicySpec lease;
+  lease.kind = core::PolicyKind::SelectiveSuspension;
+  lease.ss.owedProcs = sched::OwedProcsPolicy::Lease;
+  lease.label = "SS lease";
+  core::PolicySpec prefer = lease;
+  prefer.ss.owedProcs = sched::OwedProcsPolicy::Prefer;
+  prefer.label = "SS prefer";
+  core::PolicySpec squat = lease;
+  squat.ss.owedProcs = sched::OwedProcsPolicy::Squat;
+  squat.label = "SS squat";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+
+  const auto runs = core::compareSchemes(trace, {lease, prefer, squat, ns});
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "ablation — avg slowdown (SDSC)",
+                        "ablation — avg turnaround (SDSC)");
+  return 0;
+}

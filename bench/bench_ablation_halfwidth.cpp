@@ -1,0 +1,30 @@
+// Ablation (design decision ◆5 in DESIGN.md): the half-width rule.
+// The paper imposes it so narrow jobs cannot evict wide ones (Section IV-B).
+// Disabling it helps narrow short jobs slightly but lets them shred wide
+// jobs' service — visible in the W/VW columns.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Ablation — half-width preemption rule",
+                "Section IV-B design choice");
+  const auto trace = bench::sdscTrace();
+
+  core::PolicySpec on;
+  on.kind = core::PolicyKind::SelectiveSuspension;
+  on.label = "SS half-width ON";
+  core::PolicySpec off = on;
+  off.ss.halfWidthRule = false;
+  off.label = "SS half-width OFF";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+
+  const auto runs = core::compareSchemes(trace, {on, off, ns});
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "ablation — avg slowdown (SDSC)",
+                        "ablation — avg turnaround (SDSC)");
+  bench::printWorstPanels(runs, "ablation — worst-case slowdown (SDSC)",
+                          "ablation — worst-case turnaround (SDSC)");
+  return 0;
+}

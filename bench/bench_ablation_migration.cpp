@@ -1,0 +1,31 @@
+// Ablation (extension): what does the no-migration constraint cost?
+// The paper's model is local preemption — a suspended job must resume on
+// its exact processors (Section II-C). The migratable model (Parsons &
+// Sevcik, paper related work) relaxes that. Comparing the two quantifies
+// the price of the constraint under the lease discipline.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Ablation — local vs migratable preemption",
+                "Section II-C constraint / Parsons & Sevcik model");
+  const auto trace = bench::sdscTrace();
+
+  core::PolicySpec local;
+  local.kind = core::PolicyKind::SelectiveSuspension;
+  local.label = "SS local (paper)";
+  core::PolicySpec migrate = local;
+  migrate.ss.migratableJobs = true;
+  migrate.label = "SS migratable";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+
+  const auto runs = core::compareSchemes(trace, {local, migrate, ns});
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "ablation — avg slowdown (SDSC)",
+                        "ablation — avg turnaround (SDSC)");
+  bench::printWorstPanels(runs, "ablation — worst-case slowdown (SDSC)",
+                          "ablation — worst-case turnaround (SDSC)");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation (design decision ◆4 in DESIGN.md): the TSS limit multiplier.
+// The paper fixes the victim-protection limit at 1.5 x the category's NS
+// average slowdown; this sweep shows the worst-case/average trade-off as the
+// multiplier moves.
+#include "bench_common.hpp"
+
+#include "util/table.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Ablation — TSS limit multiplier sweep",
+                "Section IV-E design choice (limit = m x NS category avg)");
+  const auto trace = bench::sdscTrace();
+
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  const auto nsStats = core::runSimulation(trace, ns);
+
+  Table t({"multiplier", "avg slowdown", "worst slowdown (L+VL rows)",
+           "suspensions"});
+  for (double m : {1.0, 1.25, 1.5, 2.0, 3.0, 1e9}) {
+    core::PolicySpec tss;
+    tss.kind = core::PolicyKind::SelectiveSuspension;
+    tss.ss.tssLimits = metrics::tssLimits(nsStats.jobs, m);
+    tss.label = m >= 1e9 ? "plain SS" : "TSS m=" + formatFixed(m, 2);
+    const auto stats = core::runSimulation(trace, tss);
+    const auto cat = metrics::categorize16(stats.jobs);
+    double worstLong = 0;
+    for (std::size_t c = 8; c < 16; ++c)
+      worstLong = std::max(worstLong, cat[c].worstSlowdown());
+    t.row()
+        .cell(m >= 1e9 ? "inf (plain SS)" : formatFixed(m, 2))
+        .cell(stats.meanBoundedSlowdown(), 2)
+        .cell(worstLong, 2)
+        .cell(static_cast<std::int64_t>(stats.suspensions));
+  }
+  t.printAscii(std::cout);
+  std::cout << "\nNS reference: avg slowdown "
+            << formatFixed(nsStats.meanBoundedSlowdown(), 2) << "\n";
+  return 0;
+}

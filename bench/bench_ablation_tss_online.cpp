@@ -1,0 +1,35 @@
+// Ablation (extension): online-adaptive TSS limits vs the paper's
+// pre-calibrated ones. The paper's Section IV-E limit needs a prior NS run
+// of the same workload; a production scheduler has no such oracle. The
+// online variant learns the per-category average slowdown from its own
+// completions.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Ablation — pre-calibrated vs online-adaptive TSS limits",
+                "Section IV-E calibration requirement");
+  const auto trace = bench::sdscTrace();
+  const auto limits = core::bootstrapTssLimits(trace);
+
+  core::PolicySpec ss;
+  ss.kind = core::PolicyKind::SelectiveSuspension;
+  ss.label = "plain SS";
+  core::PolicySpec tss = ss;
+  tss.ss.tssLimits = limits;
+  tss.label = "TSS (NS-calibrated)";
+  core::PolicySpec online = ss;
+  online.ss.tssOnlineMultiplier = 1.5;
+  online.label = "TSS (online)";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+
+  const auto runs = core::compareSchemes(trace, {ss, tss, online, ns});
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "ablation — avg slowdown (SDSC)",
+                        "ablation — avg turnaround (SDSC)");
+  bench::printWorstPanels(runs, "ablation — worst-case slowdown (SDSC)",
+                          "ablation — worst-case turnaround (SDSC)");
+  return 0;
+}

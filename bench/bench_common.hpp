@@ -1,0 +1,69 @@
+// Shared plumbing for the experiment harnesses: the paper's two standard
+// workloads at bench scale, and output helpers.
+//
+// Every bench accepts the environment variable SPS_BENCH_JOBS to scale the
+// trace (default 8000 jobs — large enough that end effects are small, small
+// enough that every bench finishes in seconds).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/simulation.hpp"
+#include "metrics/report.hpp"
+#include "workload/estimate_model.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/transforms.hpp"
+
+namespace sps::bench {
+
+inline std::size_t benchJobs() {
+  if (const char* env = std::getenv("SPS_BENCH_JOBS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 8000;
+}
+
+inline workload::Trace ctcTrace() {
+  return workload::generateTrace(workload::ctcConfig(benchJobs(), 42));
+}
+
+inline workload::Trace sdscTrace() {
+  return workload::generateTrace(workload::sdscConfig(benchJobs(), 42));
+}
+
+inline void banner(const std::string& title, const std::string& paperRef) {
+  std::cout << "============================================================\n"
+            << title << "\n"
+            << "(reproduces " << paperRef << " of Kettimuthu et al., "
+            << "\"Selective Preemption Strategies for Parallel Job "
+               "Scheduling\")\n"
+            << "============================================================\n";
+}
+
+/// Both paper metrics for one scheme line-up, all four run classes.
+inline void printAvgPanels(const std::vector<metrics::RunStats>& runs,
+                           const std::string& figSlowdown,
+                           const std::string& figTat,
+                           metrics::EstimateFilter filter =
+                               metrics::EstimateFilter::All) {
+  core::printFigurePanels(std::cout, figSlowdown, runs,
+                          metrics::Metric::AvgSlowdown, filter);
+  core::printFigurePanels(std::cout, figTat, runs,
+                          metrics::Metric::AvgTurnaround, filter);
+}
+
+inline void printWorstPanels(const std::vector<metrics::RunStats>& runs,
+                             const std::string& figSlowdown,
+                             const std::string& figTat) {
+  core::printFigurePanels(std::cout, figSlowdown, runs,
+                          metrics::Metric::WorstSlowdown);
+  core::printFigurePanels(std::cout, figTat, runs,
+                          metrics::Metric::WorstTurnaround);
+}
+
+}  // namespace sps::bench

@@ -1,0 +1,50 @@
+// Extension: gang scheduling vs the paper's schemes. Section II names gang
+// scheduling (Feitelson & Jette) as the other remedy for FCFS
+// fragmentation; this bench shows where uniform time-slicing sits between
+// NS and SS — interactive response for everything, paid for with runtime
+// dilation and context-sweep overhead.
+#include "bench_common.hpp"
+
+#include "sched/overhead.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Extension — gang scheduling vs SS vs NS",
+                "Section II discussion (Feitelson & Jette [35])");
+  const auto trace = bench::sdscTrace();
+
+  core::PolicySpec gang2, gang4;
+  gang2.kind = gang4.kind = core::PolicyKind::Gang;
+  gang2.gang.maxSlots = 2;
+  gang2.label = "Gang(2)";
+  gang4.gang.maxSlots = 4;
+  gang4.label = "Gang(4)";
+  core::PolicySpec ss;
+  ss.kind = core::PolicyKind::SelectiveSuspension;
+  ss.label = "SS(SF=2)";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec sjf;
+  sjf.kind = core::PolicyKind::Easy;
+  sjf.easy.order = sched::QueueOrder::ShortestFirst;
+  sjf.label = "SJF-BF";
+
+  const auto runs =
+      core::compareSchemes(trace, {gang2, gang4, ss, sjf, ns});
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "extension — avg slowdown (SDSC)",
+                        "extension — avg turnaround (SDSC)");
+
+  // With the paper's overhead model, every gang sweep pays the disk: the
+  // contrast against SS (rare, targeted suspensions) sharpens.
+  const sched::DiskSwapOverhead overhead(trace, 2.0);
+  core::SimulationOptions withOverhead;
+  withOverhead.overhead = &overhead;
+  const auto loaded =
+      core::compareSchemes(trace, {gang2, ss, ns}, withOverhead);
+  core::printHeading(std::cout,
+                     "with the Section V-A overhead model (2 MB/s)");
+  core::printRunSummaries(std::cout, loaded);
+  return 0;
+}

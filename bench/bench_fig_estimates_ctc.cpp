@@ -1,0 +1,32 @@
+// Reproduces Figs. 19-24: inaccurate user estimates (Section V), CTC trace.
+// TSS at SF in {1.5, 2, 5} (tuned) vs NS vs IS, with the metrics reported
+// for all jobs (Figs. 19, 22), the well-estimated subset (Figs. 20, 23), and
+// the badly-estimated subset (Figs. 21, 24).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Inaccurate estimates — average metrics by category, CTC",
+                "Figs. 19-24");
+  workload::Trace trace = bench::ctcTrace();
+  workload::EstimateModelConfig est;
+  est.kind = workload::EstimateModelKind::Modal;
+  est.seed = 1042;
+  applyEstimates(trace, est);
+
+  const auto limits = core::bootstrapTssLimits(trace);
+  const auto runs = core::compareSchemes(trace, core::tssSchemeSet(limits));
+  core::printRunSummaries(std::cout, runs);
+
+  bench::printAvgPanels(runs, "Fig. 19 — avg slowdown, all jobs (CTC)",
+                        "Fig. 22 — avg turnaround, all jobs (CTC)");
+  bench::printAvgPanels(runs,
+                        "Fig. 20 — avg slowdown, well estimated jobs (CTC)",
+                        "Fig. 23 — avg turnaround, well estimated jobs (CTC)",
+                        metrics::EstimateFilter::WellEstimated);
+  bench::printAvgPanels(runs,
+                        "Fig. 21 — avg slowdown, badly estimated jobs (CTC)",
+                        "Fig. 24 — avg turnaround, badly estimated jobs (CTC)",
+                        metrics::EstimateFilter::BadlyEstimated);
+  return 0;
+}

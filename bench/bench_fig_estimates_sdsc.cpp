@@ -1,0 +1,29 @@
+// Reproduces Figs. 25-30: inaccurate user estimates (Section V), SDSC trace.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Inaccurate estimates — average metrics by category, SDSC",
+                "Figs. 25-30");
+  workload::Trace trace = bench::sdscTrace();
+  workload::EstimateModelConfig est;
+  est.kind = workload::EstimateModelKind::Modal;
+  est.seed = 2042;
+  applyEstimates(trace, est);
+
+  const auto limits = core::bootstrapTssLimits(trace);
+  const auto runs = core::compareSchemes(trace, core::tssSchemeSet(limits));
+  core::printRunSummaries(std::cout, runs);
+
+  bench::printAvgPanels(runs, "Fig. 25 — avg slowdown, all jobs (SDSC)",
+                        "Fig. 28 — avg turnaround, all jobs (SDSC)");
+  bench::printAvgPanels(
+      runs, "Fig. 26 — avg slowdown, well estimated jobs (SDSC)",
+      "Fig. 29 — avg turnaround, well estimated jobs (SDSC)",
+      metrics::EstimateFilter::WellEstimated);
+  bench::printAvgPanels(
+      runs, "Fig. 27 — avg slowdown, badly estimated jobs (SDSC)",
+      "Fig. 30 — avg turnaround, badly estimated jobs (SDSC)",
+      metrics::EstimateFilter::BadlyEstimated);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Figs. 36 and 37: average slowdown and turnaround time vs load
+// factor for the four Table-VI categories (SN, SW, LN, LW) — CTC trace,
+// TSS(SF=2) vs NS vs IS.
+#include "bench_common.hpp"
+
+#include "util/table.hpp"
+
+namespace {
+
+void printCategoryVsLoad(const std::vector<sps::core::LoadPoint>& points,
+                         sps::metrics::Metric metric, const char* figure) {
+  using namespace sps;
+  core::printHeading(std::cout, figure);
+  for (std::size_t cat = 0; cat < workload::kNumCategories4; ++cat) {
+    std::cout << "\n-- category " << workload::category4Name(cat) << " — "
+              << metrics::metricName(metric) << " --\n";
+    Table t({"load", "SF = 2 Tuned", "NS", "IS"});
+    for (const auto& p : points) {
+      t.row().cell(formatFixed(p.loadFactor, 2));
+      for (const auto& run : p.runs) {
+        const auto stats = metrics::categorize4(run.jobs);
+        t.cell(metrics::metricValue(stats[cat], metric), 2);
+      }
+    }
+    t.printAscii(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sps;
+  bench::banner("Per-category metrics under load variation, CTC",
+                "Figs. 36 and 37");
+  core::PolicySpec tss;
+  tss.kind = core::PolicyKind::SelectiveSuspension;
+  tss.ss.tssLimits.emplace();
+  tss.label = "SF = 2 Tuned";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+
+  const auto points = core::loadSweep(bench::ctcTrace(), {tss, ns, is},
+                                      {1.0, 1.2, 1.4, 1.6});
+  printCategoryVsLoad(points, metrics::Metric::AvgSlowdown,
+                      "Fig. 36 — average slowdown vs load (CTC)");
+  printCategoryVsLoad(points, metrics::Metric::AvgTurnaround,
+                      "Fig. 37 — average turnaround vs load (CTC)");
+  return 0;
+}

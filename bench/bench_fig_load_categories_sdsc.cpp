@@ -1,0 +1,51 @@
+// Reproduces Figs. 39 and 40: per-category metrics vs load factor, SDSC.
+#include "bench_common.hpp"
+
+#include "util/table.hpp"
+
+namespace {
+
+void printCategoryVsLoad(const std::vector<sps::core::LoadPoint>& points,
+                         sps::metrics::Metric metric, const char* figure) {
+  using namespace sps;
+  core::printHeading(std::cout, figure);
+  for (std::size_t cat = 0; cat < workload::kNumCategories4; ++cat) {
+    std::cout << "\n-- category " << workload::category4Name(cat) << " — "
+              << metrics::metricName(metric) << " --\n";
+    Table t({"load", "SF = 2 Tuned", "NS", "IS"});
+    for (const auto& p : points) {
+      t.row().cell(formatFixed(p.loadFactor, 2));
+      for (const auto& run : p.runs) {
+        const auto stats = metrics::categorize4(run.jobs);
+        t.cell(metrics::metricValue(stats[cat], metric), 2);
+      }
+    }
+    t.printAscii(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sps;
+  bench::banner("Per-category metrics under load variation, SDSC",
+                "Figs. 39 and 40");
+  core::PolicySpec tss;
+  tss.kind = core::PolicyKind::SelectiveSuspension;
+  tss.ss.tssLimits.emplace();
+  tss.label = "SF = 2 Tuned";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+
+  const auto points = core::loadSweep(bench::sdscTrace(), {tss, ns, is},
+                                      {1.0, 1.1, 1.2, 1.3});
+  printCategoryVsLoad(points, metrics::Metric::AvgSlowdown,
+                      "Fig. 39 — average slowdown vs load (SDSC)");
+  printCategoryVsLoad(points, metrics::Metric::AvgTurnaround,
+                      "Fig. 40 — average turnaround vs load (SDSC)");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figs. 31 and 32: the effect of suspension/restart overhead
+// (Section V-A) — TSS(SF=2) with and without the disk-swap overhead model
+// (2 MB/s per processor, memory U[100 MB, 1 GB]) vs NS vs IS, CTC trace,
+// modal estimates (the paper models overhead on top of Section V).
+#include "bench_common.hpp"
+
+#include "sched/overhead.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Suspension/restart overhead impact, CTC",
+                "Figs. 31 and 32");
+  workload::Trace trace = bench::ctcTrace();
+  workload::EstimateModelConfig est;
+  est.kind = workload::EstimateModelKind::Modal;
+  est.seed = 3042;
+  applyEstimates(trace, est);
+
+  const auto limits = core::bootstrapTssLimits(trace);
+  core::PolicySpec tss;
+  tss.kind = core::PolicyKind::SelectiveSuspension;
+  tss.ss.tssLimits = limits;
+  tss.label = "SF = 2";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+
+  // Free-preemption runs.
+  auto runs = core::compareSchemes(trace, {tss, ns, is});
+  // Overhead run of the same TSS config.
+  const sched::DiskSwapOverhead overhead(trace, 2.0);
+  core::SimulationOptions withOverhead;
+  withOverhead.overhead = &overhead;
+  core::PolicySpec tssOh = tss;
+  tssOh.label = "SF = 2 OH";
+  runs.insert(runs.begin() + 1,
+              core::runSimulation(trace, tssOh, withOverhead));
+
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "Fig. 31 — avg slowdown with overhead (CTC)",
+                        "Fig. 32 — avg turnaround with overhead (CTC)");
+  return 0;
+}

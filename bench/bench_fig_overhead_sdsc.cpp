@@ -1,0 +1,41 @@
+// Reproduces Figs. 33 and 34: suspension/restart overhead impact, SDSC.
+#include "bench_common.hpp"
+
+#include "sched/overhead.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Suspension/restart overhead impact, SDSC",
+                "Figs. 33 and 34");
+  workload::Trace trace = bench::sdscTrace();
+  workload::EstimateModelConfig est;
+  est.kind = workload::EstimateModelKind::Modal;
+  est.seed = 4042;
+  applyEstimates(trace, est);
+
+  const auto limits = core::bootstrapTssLimits(trace);
+  core::PolicySpec tss;
+  tss.kind = core::PolicyKind::SelectiveSuspension;
+  tss.ss.tssLimits = limits;
+  tss.label = "SF = 2";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+
+  auto runs = core::compareSchemes(trace, {tss, ns, is});
+  const sched::DiskSwapOverhead overhead(trace, 2.0);
+  core::SimulationOptions withOverhead;
+  withOverhead.overhead = &overhead;
+  core::PolicySpec tssOh = tss;
+  tssOh.label = "SF = 2 OH";
+  runs.insert(runs.begin() + 1,
+              core::runSimulation(trace, tssOh, withOverhead));
+
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "Fig. 33 — avg slowdown with overhead (SDSC)",
+                        "Fig. 34 — avg turnaround with overhead (SDSC)");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Figs. 7 and 8: average bounded slowdown and turnaround time per
+// category for SS at SF in {1.5, 2, 5} vs NS vs IS — CTC trace, accurate
+// estimates.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("SS vs NS vs IS — average metrics by category, CTC",
+                "Figs. 7 and 8");
+  const auto trace = bench::ctcTrace();
+  const auto runs = core::compareSchemes(trace, core::ssSchemeSet());
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "Fig. 7 — average slowdown (CTC)",
+                        "Fig. 8 — average turnaround time (CTC)");
+  return 0;
+}

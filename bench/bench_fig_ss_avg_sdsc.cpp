@@ -1,0 +1,16 @@
+// Reproduces Figs. 9 and 10: average bounded slowdown and turnaround time
+// per category for SS at SF in {1.5, 2, 5} vs NS vs IS — SDSC trace,
+// accurate estimates.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("SS vs NS vs IS — average metrics by category, SDSC",
+                "Figs. 9 and 10");
+  const auto trace = bench::sdscTrace();
+  const auto runs = core::compareSchemes(trace, core::ssSchemeSet());
+  core::printRunSummaries(std::cout, runs);
+  bench::printAvgPanels(runs, "Fig. 9 — average slowdown (SDSC)",
+                        "Fig. 10 — average turnaround time (SDSC)");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Figs. 13 and 14: the Tunable Selective Suspension scheme's
+// worst-case slowdown and turnaround time vs plain SS(2), NS and IS — CTC.
+// TSS limits are bootstrapped from the NS run (1.5 x category average,
+// Section IV-E).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("TSS worst-case improvement, CTC", "Figs. 13 and 14");
+  const auto trace = bench::ctcTrace();
+  const auto limits = core::bootstrapTssLimits(trace);
+
+  core::PolicySpec ss;
+  ss.kind = core::PolicyKind::SelectiveSuspension;
+  ss.label = "SF = 2";
+  core::PolicySpec tss = ss;
+  tss.ss.tssLimits = limits;
+  tss.label = "SF = 2 Tuned";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+
+  const auto runs = core::compareSchemes(trace, {ss, tss, ns, is});
+  core::printRunSummaries(std::cout, runs);
+  bench::printWorstPanels(runs, "Fig. 13 — worst-case slowdown, TSS (CTC)",
+                          "Fig. 14 — worst-case turnaround time, TSS (CTC)");
+  bench::printAvgPanels(runs,
+                        "check: averages unharmed — avg slowdown (CTC)",
+                        "check: averages unharmed — avg turnaround (CTC)");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Figs. 17 and 18: TSS worst-case metrics vs SS(2)/NS/IS — SDSC.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("TSS worst-case improvement, SDSC", "Figs. 17 and 18");
+  const auto trace = bench::sdscTrace();
+  const auto limits = core::bootstrapTssLimits(trace);
+
+  core::PolicySpec ss;
+  ss.kind = core::PolicyKind::SelectiveSuspension;
+  ss.label = "SF = 2";
+  core::PolicySpec tss = ss;
+  tss.ss.tssLimits = limits;
+  tss.label = "SF = 2 Tuned";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+
+  const auto runs = core::compareSchemes(trace, {ss, tss, ns, is});
+  core::printRunSummaries(std::cout, runs);
+  bench::printWorstPanels(runs, "Fig. 17 — worst-case slowdown, TSS (SDSC)",
+                          "Fig. 18 — worst-case turnaround time, TSS (SDSC)");
+  return 0;
+}

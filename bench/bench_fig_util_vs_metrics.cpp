@@ -1,0 +1,66 @@
+// Reproduces Figs. 41-44: average slowdown and turnaround time plotted
+// against the *achieved* overall system utilization, per Table-VI category,
+// for TSS(SF=2) / NS / IS on CTC (41, 42) and SDSC (43, 44). Each scheme
+// traces its own utilization curve as load rises, so the x-axis differs per
+// scheme — exactly why the paper switches to utilization on the x-axis.
+#include "bench_common.hpp"
+
+#include "util/table.hpp"
+
+namespace {
+
+void printUtilVsMetric(const std::vector<sps::core::LoadPoint>& points,
+                       std::size_t schemeIndex, const char* schemeName,
+                       sps::metrics::Metric metric) {
+  using namespace sps;
+  Table t({"utilization", "SN", "SW", "LN", "LW"});
+  for (const auto& p : points) {
+    const auto& run = p.runs[schemeIndex];
+    const auto stats = metrics::categorize4(run.jobs);
+    t.row().cell(formatFixed(100.0 * run.steadyUtilization, 1) + "%");
+    for (std::size_t cat = 0; cat < workload::kNumCategories4; ++cat)
+      t.cell(metrics::metricValue(stats[cat], metric), 2);
+  }
+  std::cout << "\n-- " << schemeName << " --\n";
+  t.printAscii(std::cout);
+}
+
+void sweepTrace(const sps::workload::Trace& trace,
+                const std::vector<double>& factors, const char* figSlowdown,
+                const char* figTat) {
+  using namespace sps;
+  core::PolicySpec tss;
+  tss.kind = core::PolicyKind::SelectiveSuspension;
+  tss.ss.tssLimits.emplace();
+  tss.label = "SF = 2 Tuned";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+  const auto points = core::loadSweep(trace, {tss, ns, is}, factors);
+
+  for (const auto& [metric, figure] :
+       {std::pair{metrics::Metric::AvgSlowdown, figSlowdown},
+        std::pair{metrics::Metric::AvgTurnaround, figTat}}) {
+    core::printHeading(std::cout, figure);
+    printUtilVsMetric(points, 0, "SF = 2 Tuned", metric);
+    printUtilVsMetric(points, 1, "NS", metric);
+    printUtilVsMetric(points, 2, "IS", metric);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sps;
+  bench::banner("Metrics vs achieved utilization", "Figs. 41-44");
+  sweepTrace(bench::ctcTrace(), {1.0, 1.2, 1.4, 1.6, 1.8},
+             "Fig. 41 — avg slowdown vs utilization (CTC)",
+             "Fig. 42 — avg turnaround vs utilization (CTC)");
+  sweepTrace(bench::sdscTrace(), {1.0, 1.1, 1.2, 1.3, 1.4},
+             "Fig. 43 — avg slowdown vs utilization (SDSC)",
+             "Fig. 44 — avg turnaround vs utilization (SDSC)");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figs. 11 and 12: worst-case slowdown and turnaround time per
+// category, SS(SF=2) vs NS vs IS — CTC trace.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Worst-case metrics by category, CTC", "Figs. 11 and 12");
+  const auto trace = bench::ctcTrace();
+  const auto runs = core::compareSchemes(trace, core::worstCaseSchemeSet());
+  core::printRunSummaries(std::cout, runs);
+  bench::printWorstPanels(runs, "Fig. 11 — worst-case slowdown (CTC)",
+                          "Fig. 12 — worst-case turnaround time (CTC)");
+  return 0;
+}

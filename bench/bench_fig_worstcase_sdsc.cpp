@@ -1,0 +1,14 @@
+// Reproduces Figs. 15 and 16: worst-case slowdown and turnaround time per
+// category, SS(SF=2) vs NS vs IS — SDSC trace.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Worst-case metrics by category, SDSC", "Figs. 15 and 16");
+  const auto trace = bench::sdscTrace();
+  const auto runs = core::compareSchemes(trace, core::worstCaseSchemeSet());
+  core::printRunSummaries(std::cout, runs);
+  bench::printWorstPanels(runs, "Fig. 15 — worst-case slowdown (SDSC)",
+                          "Fig. 16 — worst-case turnaround time (SDSC)");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// google-benchmark microbenchmarks of the discrete-event engine: event queue
+// throughput and whole-simulation throughput per scheduler.
+#include <benchmark/benchmark.h>
+
+#include "core/simulation.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace sps;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<Time> times(n);
+  for (auto& t : times) t = rng.uniformInt(0, 1000000);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i)
+      q.push(times[i], sim::EventType::Timer, i);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+
+template <core::PolicyKind Kind>
+void BM_Simulation(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const auto trace = workload::generateTrace(workload::sdscConfig(jobs, 7));
+  core::PolicySpec spec;
+  spec.kind = Kind;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::runSimulation(trace, spec));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+  state.SetLabel("jobs/s");
+}
+BENCHMARK(BM_Simulation<core::PolicyKind::Fcfs>)->Arg(2000);
+BENCHMARK(BM_Simulation<core::PolicyKind::Conservative>)->Arg(2000);
+BENCHMARK(BM_Simulation<core::PolicyKind::Easy>)->Arg(2000);
+BENCHMARK(BM_Simulation<core::PolicyKind::SelectiveSuspension>)->Arg(2000);
+BENCHMARK(BM_Simulation<core::PolicyKind::ImmediateService>)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Replication study (beyond the paper): the headline comparison across
+// independently-seeded workloads with mean +/- stddev — evidence that the
+// reproduction's orderings are not artifacts of one seed.
+#include "bench_common.hpp"
+
+#include "core/replicate.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Replication — headline metrics across 5 seeds",
+                "statistical confidence for the qualitative claims");
+
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44, 55};
+  // Keep each run modest: 5 seeds x 4 schemes x 2 machines.
+  const std::size_t jobs = std::min<std::size_t>(bench::benchJobs(), 5000);
+
+  core::PolicySpec ss;
+  ss.kind = core::PolicyKind::SelectiveSuspension;
+  ss.label = "SS(SF=2)";
+  core::PolicySpec tss = ss;
+  tss.ss.tssLimits.emplace();  // re-calibrated per seed by replicate()
+  tss.label = "TSS(SF=2)";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+  core::PolicySpec is;
+  is.kind = core::PolicyKind::ImmediateService;
+  is.label = "IS";
+
+  for (const char* machine : {"CTC", "SDSC"}) {
+    const bool ctc = std::string(machine) == "CTC";
+    auto makeTrace = [&, ctc](std::uint64_t seed) {
+      return workload::generateTrace(ctc ? workload::ctcConfig(jobs, seed)
+                                         : workload::sdscConfig(jobs, seed));
+    };
+    const auto results =
+        core::replicate(makeTrace, seeds, {ss, tss, ns, is});
+    core::printHeading(std::cout, std::string(machine) +
+                                      " — mean ± stddev over 5 seeds");
+    core::replicationTable(results).printAscii(std::cout);
+  }
+  std::cout << "\nReading: the SS/TSS-vs-NS slowdown gap dwarfs the seed "
+               "noise; utilizations coincide; IS pays in both directions.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Tables I, II, III (16-way criteria + job mixes) and Tables VI,
+// VII, VIII (4-way criteria + mixes for the load-variation study).
+#include "bench_common.hpp"
+
+#include "metrics/category_stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("Job categorization and workload distributions",
+                "Tables I-III and VI-VIII");
+
+  core::printHeading(std::cout, "Table I — 16-way categorization criteria");
+  {
+    Table t({"runtime \\ width", "1 Proc", "2-8 Procs", "9-32 Procs",
+             ">32 Procs"});
+    t.row().cell("0 - 10 min").cell("VS Seq").cell("VS N").cell("VS W")
+        .cell("VS VW");
+    t.row().cell("10 min - 1 hr").cell("S Seq").cell("S N").cell("S W")
+        .cell("S VW");
+    t.row().cell("1 hr - 8 hr").cell("L Seq").cell("L N").cell("L W")
+        .cell("L VW");
+    t.row().cell("> 8 hr").cell("VL Seq").cell("VL N").cell("VL W")
+        .cell("VL VW");
+    t.printAscii(std::cout);
+  }
+
+  const auto ctc = bench::ctcTrace();
+  const auto sdsc = bench::sdscTrace();
+
+  core::printHeading(std::cout,
+                     "Table II — job distribution by category, CTC "
+                     "(synthetic, calibrated to the paper's mix)");
+  metrics::distributionGrid16(metrics::distribution16(ctc.jobs))
+      .printAscii(std::cout);
+
+  core::printHeading(std::cout,
+                     "Table III — job distribution by category, SDSC");
+  metrics::distributionGrid16(metrics::distribution16(sdsc.jobs))
+      .printAscii(std::cout);
+
+  core::printHeading(std::cout,
+                     "Table VI — 4-way criteria (load-variation study)");
+  {
+    Table t({"runtime \\ width", "<= 8 Procs", "> 8 Procs"});
+    t.row().cell("<= 1 hr").cell("SN").cell("SW");
+    t.row().cell("> 1 hr").cell("LN").cell("LW");
+    t.printAscii(std::cout);
+  }
+
+  auto print4 = [](const workload::Trace& trace) {
+    const auto d = metrics::distribution4(trace.jobs);
+    Table t({"category", "share"});
+    for (std::size_t c = 0; c < workload::kNumCategories4; ++c)
+      t.row().cell(workload::category4Name(c)).cell(formatFixed(d[c], 1) + "%");
+    t.printAscii(std::cout);
+  };
+
+  core::printHeading(std::cout, "Table VII — 4-way distribution, CTC");
+  print4(ctc);
+  core::printHeading(std::cout, "Table VIII — 4-way distribution, SDSC");
+  print4(sdsc);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Tables IV and V: average bounded slowdown per category under
+// non-preemptive aggressive (EASY) backfilling, CTC and SDSC.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sps;
+  bench::banner("NS (EASY backfilling) average slowdown by category",
+                "Tables IV and V");
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "NS";
+
+  for (const auto& trace : {bench::ctcTrace(), bench::sdscTrace()}) {
+    const auto stats = core::runSimulation(trace, ns);
+    core::printHeading(std::cout,
+                       (trace.name.find("CTC") != std::string::npos
+                            ? "Table IV — CTC trace"
+                            : "Table V — SDSC trace"));
+    metrics::categoryGrid16(metrics::categorize16(stats.jobs),
+                            metrics::Metric::AvgSlowdown)
+        .printAscii(std::cout);
+    std::cout << "overall average slowdown: "
+              << formatFixed(stats.meanBoundedSlowdown(), 2)
+              << "  (paper: 3.58 CTC, 14.13 SDSC)\n";
+    std::cout << metrics::summaryLine(stats) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Capacity planning: the Section VI workflow — how far can a machine's load
+// grow before response times collapse, and how much headroom does selective
+// preemption buy? Sweeps the load factor on a synthetic SDSC-like workload
+// and prints utilization + responsiveness per scheme.
+//
+// Usage:
+//   capacity_planning [jobs]
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "metrics/report.hpp"
+#include "util/table.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/transforms.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sps;
+  const std::size_t jobs = argc > 1 ? std::stoul(argv[1]) : 3000;
+  const workload::Trace base =
+      workload::generateTrace(workload::sdscConfig(jobs));
+  std::cout << "Base workload: " << base.name << ", offered load "
+            << formatFixed(workload::offeredLoad(base), 2) << "\n\n";
+
+  core::PolicySpec tss;
+  tss.kind = core::PolicyKind::SelectiveSuspension;
+  tss.ss.tssLimits.emplace();  // recalibrated per load point by loadSweep
+  tss.label = "TSS(SF=2)";
+  core::PolicySpec ns;
+  ns.kind = core::PolicyKind::Easy;
+  ns.label = "EASY";
+
+  const std::vector<double> factors = {1.0, 1.1, 1.2, 1.3, 1.4};
+  const auto points = core::loadSweep(base, {tss, ns}, factors);
+
+  Table t({"load factor", "offered", "util TSS", "util EASY",
+           "avg slowdown TSS", "avg slowdown EASY"});
+  for (const auto& p : points) {
+    const double offered =
+        workload::offeredLoad(workload::scaleLoad(base, p.loadFactor));
+    t.row()
+        .cell(formatFixed(p.loadFactor, 1))
+        .cell(formatFixed(offered, 2))
+        .cell(formatFixed(100.0 * p.runs[0].steadyUtilization, 1) + "%")
+        .cell(formatFixed(100.0 * p.runs[1].steadyUtilization, 1) + "%")
+        .cell(p.runs[0].meanBoundedSlowdown(), 2)
+        .cell(p.runs[1].meanBoundedSlowdown(), 2);
+  }
+  t.printAscii(std::cout);
+
+  std::cout << "\nReading the table: utilization plateaus where the machine "
+               "saturates; the slowdown gap shows the responsiveness "
+               "headroom selective preemption buys at every load "
+               "(Section VI of the paper).\n";
+  return 0;
+}

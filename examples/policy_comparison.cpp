@@ -1,0 +1,73 @@
+// Policy comparison: the scenario from the paper's introduction — a
+// supercomputer center asking whether preemptive scheduling is worth it.
+// Runs all five schedulers (FCFS, conservative backfilling, EASY, Selective
+// Suspension, Immediate Service) on the same workload and prints the paper's
+// metrics side by side.
+//
+// Usage:
+//   policy_comparison [jobs] [ctc|sdsc|kth]
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "metrics/report.hpp"
+#include "util/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sps;
+  const std::size_t jobs = argc > 1 ? std::stoul(argv[1]) : 4000;
+  const std::string machine = argc > 2 ? argv[2] : "sdsc";
+
+  workload::SyntheticConfig cfg =
+      machine == "ctc"   ? workload::ctcConfig(jobs)
+      : machine == "kth" ? workload::kthConfig(jobs)
+                         : workload::sdscConfig(jobs);
+  const workload::Trace trace = workload::generateTrace(cfg);
+  std::cout << "Workload: " << trace.name << " — " << trace.jobs.size()
+            << " jobs on " << trace.machineProcs << " processors (offered load "
+            << formatFixed(workload::offeredLoad(trace), 2) << ")\n\n";
+
+  std::vector<core::PolicySpec> specs;
+  for (auto [kind, label] :
+       {std::pair{core::PolicyKind::Fcfs, "FCFS"},
+        std::pair{core::PolicyKind::Conservative, "Conservative"},
+        std::pair{core::PolicyKind::Easy, "EASY (NS)"},
+        std::pair{core::PolicyKind::SelectiveSuspension, "SS (SF=2)"},
+        std::pair{core::PolicyKind::ImmediateService, "IS"},
+        std::pair{core::PolicyKind::Gang, "Gang(4)"}}) {
+    core::PolicySpec s;
+    s.kind = kind;
+    s.label = label;
+    specs.push_back(s);
+  }
+  {
+    core::PolicySpec sjf;
+    sjf.kind = core::PolicyKind::Easy;
+    sjf.easy.order = sched::QueueOrder::ShortestFirst;
+    sjf.label = "SJF-BF";
+    specs.push_back(sjf);
+  }
+
+  const auto runs = core::compareSchemes(trace, specs);
+
+  Table t({"policy", "avg slowdown", "avg turnaround", "worst slowdown",
+           "utilization", "suspensions"});
+  for (const auto& r : runs) {
+    const auto overall = metrics::overallAggregate(r.jobs);
+    t.row()
+        .cell(r.policyName)
+        .cell(overall.avgSlowdown(), 2)
+        .cell(formatDuration(static_cast<Time>(overall.avgTurnaround())))
+        .cell(overall.worstSlowdown(), 1)
+        .cell(formatFixed(100.0 * r.utilization, 1) + "%")
+        .cell(static_cast<std::int64_t>(r.suspensions));
+  }
+  t.printAscii(std::cout);
+
+  core::printFigurePanels(std::cout,
+                          "average slowdown by category (Table I classes)",
+                          runs, metrics::Metric::AvgSlowdown);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Suspension timeline: renders the Section IV-A two-task alternation
+// (Figs. 4-6) as an ASCII Gantt chart, using the Simulator's state-change
+// observer hook. Shows how the suspension factor controls the execution
+// pattern.
+//
+// Usage:
+//   suspension_timeline [sf]     # default sweeps 1.1, sqrt(2), 2
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/selective_suspension.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "workload/job.hpp"
+
+namespace {
+
+using namespace sps;
+
+struct Segment {
+  Time start;
+  Time end;
+};
+
+void renderTwoTasks(double sf, Time length) {
+  sched::SsConfig cfg;
+  cfg.suspensionFactor = sf;
+  sched::SelectiveSuspension policy(cfg);
+
+  workload::Trace trace;
+  trace.name = "two-task";
+  trace.machineProcs = 8;
+  for (JobId i = 0; i < 2; ++i) {
+    workload::Job j;
+    j.id = i;
+    j.submit = 0;
+    j.runtime = j.estimate = length;
+    j.procs = 8;
+    trace.jobs.push_back(j);
+  }
+
+  // Record running segments through the observer hook.
+  std::vector<std::vector<Segment>> segments(2);
+  std::vector<Time> runningSince(2, kNoTime);
+  sim::Simulator s(trace, policy);
+  s.setStateChangeHook([&](const sim::Simulator& sim, JobId id,
+                           sim::JobState, sim::JobState to) {
+    if (to == sim::JobState::Running) {
+      runningSince[id] = sim.now();
+    } else if (runningSince[id] != kNoTime) {
+      segments[id].push_back({runningSince[id], sim.now()});
+      runningSince[id] = kNoTime;
+    }
+  });
+  s.run();
+
+  const Time span = s.lastFinish();
+  constexpr int kWidth = 72;
+  auto column = [&](Time t) {
+    return static_cast<int>(t * (kWidth - 1) / std::max<Time>(span, 1));
+  };
+
+  std::cout << "\nSF = " << formatFixed(sf, 4) << "  ("
+            << s.totalSuspensions() << " suspensions, makespan "
+            << formatDuration(span) << ")\n";
+  for (JobId id = 0; id < 2; ++id) {
+    std::string row(kWidth, '.');
+    for (const Segment& seg : segments[id])
+      for (int c = column(seg.start); c <= column(seg.end - 1); ++c)
+        row[static_cast<std::size_t>(c)] = id == 0 ? '#' : '=';
+    std::cout << "  T" << (id + 1) << " |" << row << "|\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sps;
+  const Time length = 2 * kHour;
+  std::cout << "Two identical tasks (full machine, "
+            << formatDuration(length)
+            << " each) submitted simultaneously — the Section IV-A "
+               "analysis.\n"
+            << "'#' = task 1 running, '=' = task 2 running, '.' = waiting/"
+               "suspended.\n";
+  if (argc > 1) {
+    renderTwoTasks(std::stod(argv[1]), length);
+  } else {
+    renderTwoTasks(1.1, length);              // Fig. 4: rapid alternation
+    renderTwoTasks(std::sqrt(2.0), length);   // Fig. 5: one swap
+    renderTwoTasks(2.0, length);              // Fig. 6: back-to-back
+  }
+  std::cout << "\nSF = 2 eliminates mutual suspension of equal tasks "
+               "entirely (Section IV-A).\n";
+  return 0;
+}

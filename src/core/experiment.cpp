@@ -1,0 +1,102 @@
+#include "core/experiment.hpp"
+
+#include "util/table.hpp"
+#include "workload/transforms.hpp"
+
+namespace sps::core {
+
+std::array<double, workload::kNumCategories16> bootstrapTssLimits(
+    const workload::Trace& trace, double multiplier,
+    const SimulationOptions& options) {
+  PolicySpec ns;
+  ns.kind = PolicyKind::Easy;
+  const metrics::RunStats stats = runSimulation(trace, ns, options);
+  return metrics::tssLimits(stats.jobs, multiplier);
+}
+
+std::vector<metrics::RunStats> compareSchemes(
+    const workload::Trace& trace, const std::vector<PolicySpec>& specs,
+    const SimulationOptions& options) {
+  std::vector<metrics::RunStats> runs;
+  runs.reserve(specs.size());
+  for (const PolicySpec& spec : specs)
+    runs.push_back(runSimulation(trace, spec, options));
+  return runs;
+}
+
+std::vector<LoadPoint> loadSweep(const workload::Trace& trace,
+                                 std::vector<PolicySpec> specs,
+                                 const std::vector<double>& factors,
+                                 bool calibrateTssFromBase,
+                                 const SimulationOptions& options) {
+  if (calibrateTssFromBase) {
+    bool anyTss = false;
+    for (const PolicySpec& s : specs)
+      anyTss |= (s.kind == PolicyKind::SelectiveSuspension &&
+                 s.ss.tssLimits.has_value());
+    if (anyTss) {
+      const auto limits = bootstrapTssLimits(trace, 1.5, options);
+      for (PolicySpec& s : specs)
+        if (s.kind == PolicyKind::SelectiveSuspension &&
+            s.ss.tssLimits.has_value())
+          s.ss.tssLimits = limits;
+    }
+  }
+  std::vector<LoadPoint> points;
+  points.reserve(factors.size());
+  for (double f : factors) {
+    LoadPoint p;
+    p.loadFactor = f;
+    p.runs = compareSchemes(workload::scaleLoad(trace, f), specs, options);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+namespace {
+PolicySpec ssSpec(double sf) {
+  PolicySpec spec;
+  spec.kind = PolicyKind::SelectiveSuspension;
+  spec.ss.suspensionFactor = sf;
+  spec.label = "SS(SF=" + formatFixed(sf, 1) + ")";
+  return spec;
+}
+
+PolicySpec nsSpec() {
+  PolicySpec spec;
+  spec.kind = PolicyKind::Easy;
+  spec.label = "NS";
+  return spec;
+}
+
+PolicySpec isSpec() {
+  PolicySpec spec;
+  spec.kind = PolicyKind::ImmediateService;
+  spec.label = "IS";
+  return spec;
+}
+}  // namespace
+
+std::vector<PolicySpec> ssSchemeSet() {
+  return {ssSpec(1.5), ssSpec(2.0), ssSpec(5.0), nsSpec(), isSpec()};
+}
+
+std::vector<PolicySpec> worstCaseSchemeSet() {
+  return {ssSpec(2.0), nsSpec(), isSpec()};
+}
+
+std::vector<PolicySpec> tssSchemeSet(
+    const std::array<double, workload::kNumCategories16>& limits) {
+  std::vector<PolicySpec> specs;
+  for (double sf : {1.5, 2.0, 5.0}) {
+    PolicySpec spec = ssSpec(sf);
+    spec.ss.tssLimits = limits;
+    spec.label = "TSS(SF=" + formatFixed(sf, 1) + ")";
+    specs.push_back(spec);
+  }
+  specs.push_back(nsSpec());
+  specs.push_back(isSpec());
+  return specs;
+}
+
+}  // namespace sps::core

@@ -1,0 +1,50 @@
+// Experiment helpers — the sweeps the evaluation section is built from.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "metrics/category_stats.hpp"
+
+namespace sps::core {
+
+/// TSS calibration (Section IV-E): run the NS baseline on the trace and set
+/// each category's victim-protection limit to `multiplier` x that category's
+/// average NS slowdown.
+[[nodiscard]] std::array<double, workload::kNumCategories16>
+bootstrapTssLimits(const workload::Trace& trace, double multiplier = 1.5,
+                   const SimulationOptions& options = {});
+
+/// Run every spec on the same trace.
+[[nodiscard]] std::vector<metrics::RunStats> compareSchemes(
+    const workload::Trace& trace, const std::vector<PolicySpec>& specs,
+    const SimulationOptions& options = {});
+
+/// One point of the Section VI load sweep.
+struct LoadPoint {
+  double loadFactor = 1.0;
+  std::vector<metrics::RunStats> runs;  ///< one per spec, same order
+};
+
+/// Scale the trace to each load factor (Section VI transform) and run every
+/// spec at each point. When `calibrateTssFromBase` is set, TSS specs get
+/// their victim-protection limits from one NS run of the *unscaled* trace —
+/// the paper's Section IV-E calibration is a property of the normal-load
+/// workload, and re-deriving limits at every load point would inflate them
+/// until the protection disappears exactly where it matters most.
+[[nodiscard]] std::vector<LoadPoint> loadSweep(
+    const workload::Trace& trace, std::vector<PolicySpec> specs,
+    const std::vector<double>& factors, bool calibrateTssFromBase = true,
+    const SimulationOptions& options = {});
+
+/// The paper's standard scheme line-ups.
+/// SS at SF in {1.5, 2, 5} plus NS plus IS (Figs. 7-10).
+[[nodiscard]] std::vector<PolicySpec> ssSchemeSet();
+/// SS(2), NS, IS (Figs. 11/12/15/16).
+[[nodiscard]] std::vector<PolicySpec> worstCaseSchemeSet();
+/// TSS at SF in {1.5, 2, 5} plus NS plus IS, calibrated on `limits`.
+[[nodiscard]] std::vector<PolicySpec> tssSchemeSet(
+    const std::array<double, workload::kNumCategories16>& limits);
+
+}  // namespace sps::core

@@ -1,0 +1,39 @@
+#include "core/figures.hpp"
+
+#include <ostream>
+
+namespace sps::core {
+
+void printHeading(std::ostream& os, const std::string& text) {
+  os << '\n' << "== " << text << " ==\n";
+}
+
+void printFigurePanels(std::ostream& os, const std::string& title,
+                       const std::vector<metrics::RunStats>& runs,
+                       metrics::Metric metric,
+                       metrics::EstimateFilter filter) {
+  printHeading(os, title);
+  std::vector<std::pair<std::string, metrics::Category16Stats>> perScheme;
+  perScheme.reserve(runs.size());
+  for (const metrics::RunStats& r : runs)
+    perScheme.emplace_back(r.policyName,
+                           metrics::categorize16(r.jobs, filter));
+  static constexpr const char* kPanelNames[] = {
+      "Very Short (0-10 min)", "Short (10 min-1 hr)", "Long (1-8 hr)",
+      "Very Long (>8 hr)"};
+  for (std::size_t r = 0; r < workload::kNumRunClasses; ++r) {
+    os << "\n-- " << kPanelNames[r] << " — " << metrics::metricName(metric)
+       << " --\n";
+    metrics::schemeComparison(perScheme,
+                              static_cast<workload::RunClass>(r), metric)
+        .printAscii(os);
+  }
+}
+
+void printRunSummaries(std::ostream& os,
+                       const std::vector<metrics::RunStats>& runs) {
+  for (const metrics::RunStats& r : runs)
+    os << metrics::summaryLine(r) << '\n';
+}
+
+}  // namespace sps::core

@@ -1,0 +1,32 @@
+// Figure/table formatters shared by the bench harnesses.
+//
+// Each of the paper's figures is a set of 4 panels (one per run-time class),
+// each panel a bar group per width class with one bar per scheme. We print
+// the same data as one table per panel.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/category_stats.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/report.hpp"
+
+namespace sps::core {
+
+/// Print a figure's four panels (VS/S/L/VL x width classes x schemes) for
+/// one metric. `filter` selects the Section V estimate-quality split.
+void printFigurePanels(
+    std::ostream& os, const std::string& title,
+    const std::vector<metrics::RunStats>& runs, metrics::Metric metric,
+    metrics::EstimateFilter filter = metrics::EstimateFilter::All);
+
+/// Print the per-run summary lines (overall slowdown, utilization, ...).
+void printRunSummaries(std::ostream& os,
+                       const std::vector<metrics::RunStats>& runs);
+
+/// A section heading matching the bench output style.
+void printHeading(std::ostream& os, const std::string& text);
+
+}  // namespace sps::core

@@ -1,0 +1,66 @@
+#include "core/replicate.hpp"
+
+#include "core/experiment.hpp"
+#include "util/check.hpp"
+
+namespace sps::core {
+
+std::vector<ReplicationResult> replicate(
+    const std::function<workload::Trace(std::uint64_t)>& makeTrace,
+    const std::vector<std::uint64_t>& seeds, std::vector<PolicySpec> specs,
+    const SimulationOptions& options) {
+  SPS_CHECK_MSG(!seeds.empty(), "replication needs at least one seed");
+  SPS_CHECK_MSG(!specs.empty(), "replication needs at least one spec");
+
+  std::vector<ReplicationResult> results(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p)
+    results[p].policyName = policyLabel(specs[p]);
+
+  for (const std::uint64_t seed : seeds) {
+    const workload::Trace trace = makeTrace(seed);
+    // Fresh TSS calibration per seed where engaged.
+    std::vector<PolicySpec> seedSpecs = specs;
+    bool anyTss = false;
+    for (const PolicySpec& s : seedSpecs)
+      anyTss |= (s.kind == PolicyKind::SelectiveSuspension &&
+                 s.ss.tssLimits.has_value());
+    if (anyTss) {
+      const auto limits = bootstrapTssLimits(trace, 1.5, options);
+      for (PolicySpec& s : seedSpecs)
+        if (s.kind == PolicyKind::SelectiveSuspension &&
+            s.ss.tssLimits.has_value())
+          s.ss.tssLimits = limits;
+    }
+    for (std::size_t p = 0; p < seedSpecs.size(); ++p) {
+      const metrics::RunStats stats =
+          runSimulation(trace, seedSpecs[p], options);
+      results[p].meanSlowdown.add(stats.meanBoundedSlowdown());
+      results[p].meanTurnaround.add(stats.meanTurnaround());
+      results[p].steadyUtilization.add(stats.steadyUtilization);
+      results[p].suspensionsPerJob.add(
+          static_cast<double>(stats.suspensions) /
+          static_cast<double>(stats.jobs.size()));
+    }
+  }
+  return results;
+}
+
+Table replicationTable(const std::vector<ReplicationResult>& results) {
+  Table t({"policy", "avg slowdown", "avg turnaround (s)",
+           "steady utilization", "suspensions/job"});
+  auto pm = [](const Accumulator& acc, int precision) {
+    return formatFixed(acc.mean(), precision) + " ± " +
+           formatFixed(acc.stddev(), precision);
+  };
+  for (const ReplicationResult& r : results) {
+    t.row()
+        .cell(r.policyName)
+        .cell(pm(r.meanSlowdown, 2))
+        .cell(pm(r.meanTurnaround, 0))
+        .cell(pm(r.steadyUtilization, 3))
+        .cell(pm(r.suspensionsPerJob, 3));
+  }
+  return t;
+}
+
+}  // namespace sps::core

@@ -1,0 +1,41 @@
+// Multi-seed replication — statistical confidence for the headline claims.
+//
+// The paper reports single-trace numbers (its logs are fixed); a synthetic
+// reproduction can do better: rerun every scheme over independently-seeded
+// workloads and report mean +/- stddev, so "SS beats NS 8x" is visibly not
+// a seed fluke.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sps::core {
+
+/// Per-scheme aggregate over the replication seeds. Each Accumulator holds
+/// one sample per seed (the run-level mean/total of that metric).
+struct ReplicationResult {
+  std::string policyName;
+  Accumulator meanSlowdown;
+  Accumulator meanTurnaround;
+  Accumulator steadyUtilization;
+  Accumulator suspensionsPerJob;
+};
+
+/// Run every spec over makeTrace(seed) for each seed. TSS specs with
+/// engaged static limits are re-calibrated per seed (each seed is its own
+/// workload, so each gets its own NS reference).
+[[nodiscard]] std::vector<ReplicationResult> replicate(
+    const std::function<workload::Trace(std::uint64_t)>& makeTrace,
+    const std::vector<std::uint64_t>& seeds,
+    std::vector<PolicySpec> specs, const SimulationOptions& options = {});
+
+/// Render mean +/- stddev per scheme and metric.
+[[nodiscard]] Table replicationTable(
+    const std::vector<ReplicationResult>& results);
+
+}  // namespace sps::core

@@ -1,0 +1,67 @@
+// Simulation facade — the library's primary entry point.
+//
+// Wires a workload trace, a scheduling policy, and an optional overhead
+// model into one run and returns the collected metrics:
+//
+//   auto trace = sps::workload::generateTrace(sps::workload::ctcConfig());
+//   sps::core::PolicySpec spec;
+//   spec.kind = sps::core::PolicyKind::SelectiveSuspension;
+//   spec.ss.suspensionFactor = 2.0;
+//   auto stats = sps::core::runSimulation(trace, spec);
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "metrics/collector.hpp"
+#include "sched/depth_backfill.hpp"
+#include "sched/easy.hpp"
+#include "sched/gang.hpp"
+#include "sched/immediate_service.hpp"
+#include "sched/selective_suspension.hpp"
+#include "sim/policy.hpp"
+#include "workload/job.hpp"
+
+namespace sps::core {
+
+enum class PolicyKind {
+  Fcfs,
+  Conservative,
+  Easy,                 ///< the paper's "No Suspension (NS)" baseline
+  SelectiveSuspension,  ///< SS; TSS when spec.ss.tssLimits is set
+  ImmediateService,
+  Gang,                 ///< extension: Ousterhout-matrix time slicing
+  DepthBackfill,        ///< extension: K-deep reservation backfilling
+};
+
+[[nodiscard]] const char* policyKindName(PolicyKind kind);
+
+struct PolicySpec {
+  PolicyKind kind = PolicyKind::Easy;
+  sched::SsConfig ss{};      ///< used when kind == SelectiveSuspension
+  sched::IsConfig is{};      ///< used when kind == ImmediateService
+  sched::EasyConfig easy{};    ///< used when kind == Easy
+  sched::GangConfig gang{};    ///< used when kind == Gang
+  sched::DepthConfig depth{};  ///< used when kind == DepthBackfill
+  /// Optional display label override (defaults to the policy's own name()).
+  std::string label;
+};
+
+struct SimulationOptions {
+  /// Suspension/restart cost model; nullptr = free preemption.
+  const sim::OverheadPolicy* overhead = nullptr;
+};
+
+/// Instantiate the policy a spec describes.
+[[nodiscard]] std::unique_ptr<sim::SchedulingPolicy> makePolicy(
+    const PolicySpec& spec);
+
+/// Display label of a spec: spec.label if set, else the policy's name().
+[[nodiscard]] std::string policyLabel(const PolicySpec& spec);
+
+/// Run one simulation to completion and collect metrics.
+[[nodiscard]] metrics::RunStats runSimulation(
+    const workload::Trace& trace, const PolicySpec& spec,
+    const SimulationOptions& options = {});
+
+}  // namespace sps::core

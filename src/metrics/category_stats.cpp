@@ -1,0 +1,106 @@
+#include "metrics/category_stats.hpp"
+
+#include <limits>
+
+namespace sps::metrics {
+
+void CategoryAggregate::add(const JobResult& job) {
+  const double sd = boundedSlowdown(job);
+  const auto tat = static_cast<double>(job.turnaround());
+  slowdown.add(sd);
+  turnaround.add(tat);
+  slowdownSamples.add(sd);
+  turnaroundSamples.add(tat);
+}
+
+double CategoryAggregate::avgSlowdown() const {
+  return slowdown.empty() ? 0.0 : slowdown.mean();
+}
+double CategoryAggregate::worstSlowdown() const {
+  return slowdown.empty() ? 0.0 : slowdown.max();
+}
+double CategoryAggregate::avgTurnaround() const {
+  return turnaround.empty() ? 0.0 : turnaround.mean();
+}
+double CategoryAggregate::worstTurnaround() const {
+  return turnaround.empty() ? 0.0 : turnaround.max();
+}
+double CategoryAggregate::slowdownPercentile(double p) const {
+  return slowdownSamples.empty() ? 0.0 : slowdownSamples.percentile(p);
+}
+double CategoryAggregate::turnaroundPercentile(double p) const {
+  return turnaroundSamples.empty() ? 0.0 : turnaroundSamples.percentile(p);
+}
+
+bool passesFilter(const JobResult& job, EstimateFilter filter) {
+  switch (filter) {
+    case EstimateFilter::All: return true;
+    case EstimateFilter::WellEstimated: return isWellEstimated(job);
+    case EstimateFilter::BadlyEstimated: return !isWellEstimated(job);
+  }
+  return true;
+}
+
+Category16Stats categorize16(const std::vector<JobResult>& jobs,
+                             EstimateFilter filter) {
+  Category16Stats stats{};
+  for (const JobResult& j : jobs) {
+    if (!passesFilter(j, filter)) continue;
+    stats[workload::category16(j.runtime, j.procs)].add(j);
+  }
+  return stats;
+}
+
+Category4Stats categorize4(const std::vector<JobResult>& jobs,
+                           EstimateFilter filter) {
+  Category4Stats stats{};
+  for (const JobResult& j : jobs) {
+    if (!passesFilter(j, filter)) continue;
+    stats[workload::category4(j.runtime, j.procs)].add(j);
+  }
+  return stats;
+}
+
+CategoryAggregate overallAggregate(const std::vector<JobResult>& jobs,
+                                   EstimateFilter filter) {
+  CategoryAggregate agg;
+  for (const JobResult& j : jobs)
+    if (passesFilter(j, filter)) agg.add(j);
+  return agg;
+}
+
+std::array<double, workload::kNumCategories16> distribution16(
+    const std::vector<workload::Job>& jobs) {
+  std::array<double, workload::kNumCategories16> dist{};
+  if (jobs.empty()) return dist;
+  for (const workload::Job& j : jobs)
+    dist[workload::category16(j)] += 1.0;
+  for (double& d : dist) d = 100.0 * d / static_cast<double>(jobs.size());
+  return dist;
+}
+
+std::array<double, workload::kNumCategories4> distribution4(
+    const std::vector<workload::Job>& jobs) {
+  std::array<double, workload::kNumCategories4> dist{};
+  if (jobs.empty()) return dist;
+  for (const workload::Job& j : jobs)
+    dist[workload::category4(j)] += 1.0;
+  for (double& d : dist) d = 100.0 * d / static_cast<double>(jobs.size());
+  return dist;
+}
+
+std::array<double, workload::kNumCategories16> tssLimits(
+    const std::vector<JobResult>& referenceJobs, double multiplier) {
+  std::array<Accumulator, workload::kNumCategories16> perCat{};
+  for (const JobResult& j : referenceJobs)
+    perCat[workload::category16(j.estimate, j.procs)].add(boundedSlowdown(j));
+  std::array<double, workload::kNumCategories16> limits{};
+  for (std::size_t c = 0; c < limits.size(); ++c) {
+    limits[c] = perCat[c].empty()
+                    ? std::numeric_limits<double>::infinity()
+                    : multiplier * perCat[c].mean();
+  }
+  return limits;
+}
+
+}  // namespace sps::metrics

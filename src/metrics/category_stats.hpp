@@ -1,0 +1,80 @@
+// Per-category aggregation — the lens through which every result in the
+// paper is reported (Sections III-VI).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "metrics/job_record.hpp"
+#include "util/stats.hpp"
+#include "workload/category.hpp"
+
+namespace sps::metrics {
+
+/// Aggregate of one job category: average, worst case, and tail percentiles
+/// of both paper metrics (bounded slowdown and turnaround time). The paper
+/// reports averages and worst cases; percentiles are provided because a
+/// single pathological job dominates a worst-case cell, and a production
+/// report would quote p95/p99 instead.
+struct CategoryAggregate {
+  Accumulator slowdown;
+  Accumulator turnaround;
+  Samples slowdownSamples;
+  Samples turnaroundSamples;
+
+  [[nodiscard]] std::size_t count() const { return slowdown.count(); }
+  [[nodiscard]] bool empty() const { return slowdown.empty(); }
+  /// Average / worst-case / percentile accessors returning 0 for empty
+  /// categories so sparse cells print as 0 (the paper leaves them blank).
+  [[nodiscard]] double avgSlowdown() const;
+  [[nodiscard]] double worstSlowdown() const;
+  [[nodiscard]] double avgTurnaround() const;
+  [[nodiscard]] double worstTurnaround() const;
+  [[nodiscard]] double slowdownPercentile(double p) const;
+  [[nodiscard]] double turnaroundPercentile(double p) const;
+
+  void add(const JobResult& job);
+};
+
+using Category16Stats =
+    std::array<CategoryAggregate, workload::kNumCategories16>;
+using Category4Stats = std::array<CategoryAggregate, workload::kNumCategories4>;
+
+/// Estimate-quality filter for the Section V split.
+enum class EstimateFilter { All, WellEstimated, BadlyEstimated };
+
+[[nodiscard]] bool passesFilter(const JobResult& job, EstimateFilter filter);
+
+/// Aggregate per 16-way category (classification by *actual* runtime,
+/// Section III), optionally restricted to well/badly estimated jobs.
+[[nodiscard]] Category16Stats categorize16(
+    const std::vector<JobResult>& jobs,
+    EstimateFilter filter = EstimateFilter::All);
+
+/// Aggregate per 4-way category (Table VI; the load-variation study).
+[[nodiscard]] Category4Stats categorize4(
+    const std::vector<JobResult>& jobs,
+    EstimateFilter filter = EstimateFilter::All);
+
+/// Whole-trace aggregate.
+[[nodiscard]] CategoryAggregate overallAggregate(
+    const std::vector<JobResult>& jobs,
+    EstimateFilter filter = EstimateFilter::All);
+
+/// Job-count distribution over the 16 categories as percentages of the
+/// total (Tables II and III).
+[[nodiscard]] std::array<double, workload::kNumCategories16>
+distribution16(const std::vector<workload::Job>& jobs);
+
+/// Job-count distribution over the 4 categories (Tables VII and VIII).
+[[nodiscard]] std::array<double, workload::kNumCategories4> distribution4(
+    const std::vector<workload::Job>& jobs);
+
+/// TSS limits: 1.5 x the per-category average slowdown of a reference
+/// (non-preemptive) run, as prescribed in Section IV-E. Classification by
+/// user estimate — the signal a live scheduler has. Empty categories get an
+/// infinite limit (no protection needed — nothing to calibrate against).
+[[nodiscard]] std::array<double, workload::kNumCategories16> tssLimits(
+    const std::vector<JobResult>& referenceJobs, double multiplier = 1.5);
+
+}  // namespace sps::metrics

@@ -1,0 +1,90 @@
+#include "sched/availability_profile.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sps::sched {
+
+AvailabilityProfile::AvailabilityProfile(Time origin, std::uint32_t totalProcs)
+    : origin_(origin), total_(totalProcs) {
+  steps_.push_back({origin, totalProcs});
+}
+
+std::size_t AvailabilityProfile::stepIndex(Time t) const {
+  SPS_CHECK_MSG(t >= origin_, "profile query at " << t << " before origin "
+                                                  << origin_);
+  // Last step with start <= t.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Time value, const Step& s) { return value < s.start; });
+  SPS_CHECK(it != steps_.begin());
+  return static_cast<std::size_t>(std::distance(steps_.begin(), it)) - 1;
+}
+
+std::size_t AvailabilityProfile::splitAt(Time t) {
+  const std::size_t i = stepIndex(t);
+  if (steps_[i].start == t) return i;
+  steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                {t, steps_[i].free});
+  return i + 1;
+}
+
+void AvailabilityProfile::addBusy(Time start, Time end, std::uint32_t procs) {
+  if (procs == 0) return;
+  start = std::max(start, origin_);
+  if (start >= end) return;
+  const std::size_t first = splitAt(start);
+  const std::size_t last = splitAt(end);  // step starting exactly at `end`
+  for (std::size_t i = first; i < last; ++i) {
+    SPS_CHECK_MSG(steps_[i].free >= procs,
+                  "profile oversubscribed at t=" << steps_[i].start << ": "
+                      << steps_[i].free << " free, adding " << procs);
+    steps_[i].free -= procs;
+  }
+}
+
+std::uint32_t AvailabilityProfile::freeAt(Time t) const {
+  return steps_[stepIndex(t)].free;
+}
+
+std::uint32_t AvailabilityProfile::minFreeIn(Time start, Time end) const {
+  SPS_CHECK(start < end);
+  std::uint32_t m = total_;
+  for (std::size_t i = stepIndex(start); i < steps_.size(); ++i) {
+    if (steps_[i].start >= end) break;
+    m = std::min(m, steps_[i].free);
+  }
+  return m;
+}
+
+Time AvailabilityProfile::findAnchor(Time notBefore, Time duration,
+                                     std::uint32_t procs) const {
+  SPS_CHECK_MSG(procs <= total_, "job wider than machine");
+  SPS_CHECK(duration > 0);
+  notBefore = std::max(notBefore, origin_);
+  std::size_t i = stepIndex(notBefore);
+  while (true) {
+    // Candidate anchor: max(notBefore, current step start).
+    const Time anchor = std::max(notBefore, steps_[i].start);
+    if (steps_[i].free >= procs) {
+      // Scan forward to confirm the window [anchor, anchor+duration).
+      bool ok = true;
+      for (std::size_t k = i; k < steps_.size(); ++k) {
+        if (steps_[k].start >= anchor + duration) break;
+        if (steps_[k].free < procs) {
+          ok = false;
+          i = k;  // restart the search at the blocking step
+          break;
+        }
+      }
+      if (ok) return anchor;
+    }
+    // Advance past the blocking step.
+    ++i;
+    SPS_CHECK_MSG(i < steps_.size(),
+                  "no anchor found — profile never drains (bug)");
+  }
+}
+
+}  // namespace sps::sched

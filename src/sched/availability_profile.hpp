@@ -1,0 +1,64 @@
+// AvailabilityProfile — the "2D chart" of future free processors that
+// backfilling reasons over (Section II-A of the paper).
+//
+// A step function free(t) for t >= origin, built by subtracting busy
+// intervals (running jobs' estimated remainders, reservations). Supports the
+// two queries backfilling needs: the earliest anchor point where a job fits
+// for its full estimated duration, and the minimum availability over a
+// window.
+//
+// Counts, not named processors: backfilling predicts the future, and with no
+// migration constraint on *queued* jobs any set of free processors is as
+// good as any other at start time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace sps::sched {
+
+class AvailabilityProfile {
+ public:
+  /// Profile with `totalProcs` free everywhere from `origin` onward.
+  AvailabilityProfile(Time origin, std::uint32_t totalProcs);
+
+  [[nodiscard]] Time origin() const { return origin_; }
+  [[nodiscard]] std::uint32_t totalProcs() const { return total_; }
+
+  /// Mark `procs` processors busy over [start, end). Clamps start to the
+  /// origin. No-op when the interval is empty. It is an invariant error to
+  /// drive availability below zero anywhere.
+  void addBusy(Time start, Time end, std::uint32_t procs);
+
+  /// Free processors at time t (t >= origin).
+  [[nodiscard]] std::uint32_t freeAt(Time t) const;
+
+  /// Minimum of free(t) over [start, end). Requires start < end.
+  [[nodiscard]] std::uint32_t minFreeIn(Time start, Time end) const;
+
+  /// Earliest t >= notBefore such that free(u) >= procs for all
+  /// u in [t, t+duration). Always exists because the profile empties out.
+  [[nodiscard]] Time findAnchor(Time notBefore, Time duration,
+                                std::uint32_t procs) const;
+
+  /// Number of internal steps (for tests).
+  [[nodiscard]] std::size_t stepCount() const { return steps_.size(); }
+
+ private:
+  struct Step {
+    Time start;          ///< step covers [start, next.start)
+    std::uint32_t free;  ///< free processors during the step
+  };
+  /// Index of the step containing t.
+  [[nodiscard]] std::size_t stepIndex(Time t) const;
+  /// Ensure a breakpoint exists exactly at t; return its step index.
+  std::size_t splitAt(Time t);
+
+  Time origin_;
+  std::uint32_t total_;
+  std::vector<Step> steps_;  ///< sorted by start; last step extends forever
+};
+
+}  // namespace sps::sched

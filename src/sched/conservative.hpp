@@ -1,0 +1,52 @@
+// Conservative backfilling (Section II-A.1 of the paper).
+//
+// Every job receives a start-time guarantee (its "anchor point") when it
+// enters the system: the earliest time at which the availability profile —
+// running jobs' estimated remainders plus all earlier reservations — can
+// hold the job for its full estimated duration. A job may backfill only if
+// doing so delays no previously-queued job, which the anchor construction
+// guarantees by building the profile from every existing reservation.
+//
+// When a running job terminates earlier than its estimate, the schedule is
+// compressed: reservations are released one by one in order of increasing
+// guaranteed start and re-anchored against the rebuilt profile. A job's new
+// anchor can never be later than its old guarantee (the old slot is still
+// feasible), so guarantees only improve — the paper's no-starvation argument.
+#pragma once
+
+#include <vector>
+
+#include "sched/availability_profile.hpp"
+#include "sim/policy.hpp"
+
+namespace sps::sched {
+
+class ConservativeBackfill final : public sim::SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "Conservative"; }
+
+  void onJobArrival(sim::Simulator& simulator, JobId job) override;
+  void onJobCompletion(sim::Simulator& simulator, JobId job) override;
+  void onSimulationEnd(sim::Simulator& simulator) override;
+
+  /// Current start-time guarantee for a queued job (tests/diagnostics).
+  [[nodiscard]] Time guaranteeOf(JobId job) const;
+
+ private:
+  struct Reservation {
+    JobId job;
+    Time start;
+  };
+
+  /// Profile of running jobs' estimated remainders only.
+  [[nodiscard]] AvailabilityProfile runningProfile(
+      const sim::Simulator& simulator) const;
+
+  /// Re-anchor every reservation (in guarantee order) against a fresh
+  /// profile, starting any whose anchor is now. Guarantees must not regress.
+  void compress(sim::Simulator& simulator);
+
+  std::vector<Reservation> reservations_;  ///< sorted by (start, FCFS rank)
+};
+
+}  // namespace sps::sched

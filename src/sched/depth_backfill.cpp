@@ -1,0 +1,111 @@
+#include "sched/depth_backfill.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace sps::sched {
+
+DepthBackfill::DepthBackfill(DepthConfig config) : config_(config) {
+  SPS_CHECK_MSG(config_.depth >= 1, "reservation depth must be >= 1");
+}
+
+std::string DepthBackfill::name() const {
+  std::ostringstream os;
+  if (config_.depth == kUnlimitedDepth) os << "Depth-BF(inf)";
+  else os << "Depth-BF(" << config_.depth << ")";
+  return os.str();
+}
+
+Time DepthBackfill::guaranteeOf(JobId job) const {
+  for (const auto& [id, start] : guarantees_)
+    if (id == job) return start;
+  return kNoTime;
+}
+
+void DepthBackfill::onJobArrival(sim::Simulator& simulator, JobId job) {
+  queue_.push_back(job);
+  rebuild(simulator);
+}
+
+void DepthBackfill::onJobCompletion(sim::Simulator& simulator,
+                                    JobId /*job*/) {
+  rebuild(simulator);
+}
+
+void DepthBackfill::rebuild(sim::Simulator& simulator) {
+  const Time now = simulator.now();
+
+  // Profile of running jobs' estimated remainders (same zombie handling as
+  // conservative backfilling: a job whose estimated end is exactly `now`
+  // counts as done; its completion event fires in this timestamp batch and
+  // triggers another rebuild).
+  AvailabilityProfile profile(now, simulator.machine().totalProcs());
+  for (JobId id : simulator.runningJobs()) {
+    const auto& x = simulator.exec(id);
+    const Time end = x.segStart + simulator.job(id).estimate;
+    profile.addBusy(now, end, simulator.job(id).procs);
+  }
+
+  std::vector<std::pair<JobId, Time>> oldGuarantees;
+  oldGuarantees.swap(guarantees_);
+  auto previousGuarantee = [&](JobId id) {
+    for (const auto& [job, start] : oldGuarantees)
+      if (job == id) return start;
+    return kTimeMax;  // never guaranteed: anything is an improvement
+  };
+
+  // Pass 1: (re-)anchor the first `depth` queued jobs in order. Guarantees
+  // must never regress — the old slot stays feasible by induction, exactly
+  // as in conservative compression.
+  std::vector<JobId> pending;
+  pending.swap(queue_);
+  std::size_t reserved = 0;
+  std::vector<JobId> backfillCandidates;
+  for (JobId id : pending) {
+    const auto& j = simulator.job(id);
+    if (reserved < config_.depth) {
+      const Time anchor = profile.findAnchor(now, j.estimate, j.procs);
+      SPS_CHECK_MSG(anchor <= previousGuarantee(id),
+                    "depth-backfill guarantee regressed for job " << id);
+      const bool startNow =
+          anchor == now && j.procs <= simulator.machine().freeCount();
+      if (startNow) {
+        simulator.startJob(id);
+      } else {
+        queue_.push_back(id);
+        guarantees_.emplace_back(id, anchor);
+      }
+      profile.addBusy(anchor, anchor + j.estimate, j.procs);
+      ++reserved;
+    } else {
+      backfillCandidates.push_back(id);
+    }
+  }
+
+  // Pass 2: unreserved jobs backfill iff they fit *now* without delaying
+  // any reservation — i.e. their earliest anchor against the profile
+  // (running + all reservations + earlier backfills) is the present.
+  for (JobId id : backfillCandidates) {
+    const auto& j = simulator.job(id);
+    const Time anchor = profile.findAnchor(now, j.estimate, j.procs);
+    if (anchor == now && j.procs <= simulator.machine().freeCount()) {
+      simulator.startJob(id);
+      profile.addBusy(now, now + j.estimate, j.procs);
+    } else {
+      queue_.push_back(id);
+    }
+  }
+
+  // queue_ now holds reserved-but-waiting jobs first (in order), then the
+  // unreserved tail — submission order within each group is preserved, and
+  // reserved jobs all precede unreserved ones in the original order too.
+  std::sort(queue_.begin(), queue_.end());
+}
+
+void DepthBackfill::onSimulationEnd(sim::Simulator& /*simulator*/) {
+  SPS_CHECK_MSG(queue_.empty(), "depth-backfill queue not drained");
+}
+
+}  // namespace sps::sched

@@ -1,0 +1,60 @@
+// Reservation-depth backfilling — the spectrum between the paper's two
+// backfilling baselines, after the "relaxed"/"selective reservation"
+// strategies of the paper's own reference list (Ward et al. [10],
+// Srinivasan et al. [16]).
+//
+// depth = K means the first K queued jobs hold start-time guarantees
+// (anchored exactly as in conservative backfilling); every other queued job
+// may start only if doing so delays none of those K reservations. K = 1 is
+// EASY's guarantee structure on a FCFS queue; K = infinity is conservative
+// backfilling. Intermediate K trades the responsiveness of aggressive
+// backfilling against the predictability of conservative — a useful
+// non-preemptive axis to set next to SS, which abandons guarantees
+// entirely.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sched/availability_profile.hpp"
+#include "sim/policy.hpp"
+
+namespace sps::sched {
+
+struct DepthConfig {
+  /// Number of queued jobs holding reservations. >= 1.
+  std::size_t depth = 2;
+};
+
+inline constexpr std::size_t kUnlimitedDepth =
+    std::numeric_limits<std::size_t>::max();
+
+class DepthBackfill final : public sim::SchedulingPolicy {
+ public:
+  explicit DepthBackfill(DepthConfig config);
+
+  [[nodiscard]] std::string name() const override;
+
+  void onJobArrival(sim::Simulator& simulator, JobId job) override;
+  void onJobCompletion(sim::Simulator& simulator, JobId job) override;
+  void onSimulationEnd(sim::Simulator& simulator) override;
+
+  /// Current guarantee of a queued job, or kNoTime when it holds none
+  /// (either unreserved or already started).
+  [[nodiscard]] Time guaranteeOf(JobId job) const;
+
+ private:
+  /// Re-derive the whole schedule decision: anchor the first `depth` queued
+  /// jobs (their guarantees must never regress), then backfill the rest
+  /// against the resulting profile. Starts everything whose anchor is now.
+  void rebuild(sim::Simulator& simulator);
+
+  DepthConfig config_;
+  std::vector<JobId> queue_;  ///< submission order
+  /// Guarantee per reserved job, parallel to the first entries of queue_.
+  /// kNoTime marks "no guarantee recorded yet".
+  std::vector<std::pair<JobId, Time>> guarantees_;
+};
+
+}  // namespace sps::sched

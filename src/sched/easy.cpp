@@ -1,0 +1,89 @@
+#include "sched/easy.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+
+namespace sps::sched {
+
+void EasyBackfill::enqueue(const sim::Simulator& simulator, JobId job) {
+  if (config_.order == QueueOrder::Fcfs) {
+    queue_.push_back(job);
+    return;
+  }
+  // ShortestFirst: keep the queue sorted by (estimate, submit, id).
+  auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), job,
+      [&simulator](JobId a, JobId b) {
+        const auto& ja = simulator.job(a);
+        const auto& jb = simulator.job(b);
+        if (ja.estimate != jb.estimate) return ja.estimate < jb.estimate;
+        if (ja.submit != jb.submit) return ja.submit < jb.submit;
+        return a < b;
+      });
+  queue_.insert(pos, job);
+}
+
+void EasyBackfill::onJobArrival(sim::Simulator& simulator, JobId job) {
+  enqueue(simulator, job);
+  schedulePass(simulator);
+}
+
+void EasyBackfill::onJobCompletion(sim::Simulator& simulator, JobId /*job*/) {
+  schedulePass(simulator);
+}
+
+void EasyBackfill::schedulePass(sim::Simulator& simulator) {
+  const Time now = simulator.now();
+
+  // Phase 1: start jobs from the head while they fit.
+  while (!queue_.empty() &&
+         simulator.job(queue_.front()).procs <= simulator.freeCount()) {
+    simulator.startJob(queue_.front());
+    queue_.erase(queue_.begin());
+  }
+  if (queue_.empty()) return;
+
+  // Phase 2: the head does not fit. Compute its shadow time and the extra
+  // processors, then backfill. Restart the scan whenever a job starts, since
+  // free processors (and hence shadow/extra) change.
+  bool progress = true;
+  while (progress && !queue_.empty()) {
+    progress = false;
+
+    AvailabilityProfile profile(now, simulator.machine().totalProcs());
+    for (JobId id : simulator.runningJobs()) {
+      const auto& x = simulator.exec(id);
+      const Time end = x.segStart + simulator.job(id).estimate;
+      profile.addBusy(now, std::max(end, now + 1), simulator.job(id).procs);
+    }
+    const auto& head = simulator.job(queue_.front());
+    const Time shadow = profile.findAnchor(now, head.estimate, head.procs);
+    SPS_CHECK_MSG(shadow > now, "head fits now but phase 1 left it queued");
+    // Processors not needed by the head once it starts at the shadow time.
+    const std::uint32_t freeAtShadow = profile.freeAt(shadow);
+    SPS_CHECK(freeAtShadow >= head.procs);
+    const std::uint32_t extra = freeAtShadow - head.procs;
+
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      const JobId id = queue_[i];
+      const auto& j = simulator.job(id);
+      if (j.procs > simulator.freeCount()) continue;
+      const bool endsBeforeShadow = now + j.estimate <= shadow;
+      const bool fitsInExtra = j.procs <= extra;
+      if (endsBeforeShadow || fitsInExtra) {
+        simulator.startJob(id);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++backfills_;
+        progress = true;
+        break;  // recompute shadow/extra with the new machine state
+      }
+    }
+  }
+}
+
+void EasyBackfill::onSimulationEnd(sim::Simulator& /*simulator*/) {
+  SPS_CHECK_MSG(queue_.empty(), "EASY queue not drained at end of run");
+}
+
+}  // namespace sps::sched

@@ -1,0 +1,64 @@
+// Aggressive (EASY) backfilling (Section II-A.2 of the paper).
+//
+// Only the job at the head of the queue holds a reservation: the earliest
+// time the required processors are expected to free up given running jobs'
+// estimates (the "shadow time"). Any other queued job may start immediately
+// if it fits in the currently-free processors AND one of the two conditions
+// that protect the head job holds:
+//   (1) it is estimated to terminate by the shadow time, or
+//   (2) it uses no more processors than will remain free at the shadow time
+//       once the head job starts (the "extra" processors).
+//
+// This is the paper's "No Suspension (NS)" baseline for every evaluation.
+#pragma once
+
+#include <vector>
+
+#include "sched/availability_profile.hpp"
+#include "sim/policy.hpp"
+
+namespace sps::sched {
+
+/// Queue discipline for the backfilling queue.
+enum class QueueOrder {
+  /// Submission order — the classical EASY scheduler (the paper's NS).
+  Fcfs,
+  /// Shortest estimated runtime first (SJF-backfill, a common variant in
+  /// the backfilling literature; ties broken by submission). Trades
+  /// fairness for average slowdown — a useful non-preemptive comparison
+  /// point for SS, which achieves short-job service *with* a starvation
+  /// guarantee.
+  ShortestFirst,
+};
+
+struct EasyConfig {
+  QueueOrder order = QueueOrder::Fcfs;
+};
+
+class EasyBackfill final : public sim::SchedulingPolicy {
+ public:
+  EasyBackfill() = default;
+  explicit EasyBackfill(EasyConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override {
+    return config_.order == QueueOrder::Fcfs ? "EASY (NS)" : "SJF-BF";
+  }
+
+  void onJobArrival(sim::Simulator& simulator, JobId job) override;
+  void onJobCompletion(sim::Simulator& simulator, JobId job) override;
+  void onSimulationEnd(sim::Simulator& simulator) override;
+
+  /// Number of backfilled starts (started ahead of an earlier-submitted
+  /// queued job), for tests and diagnostics.
+  [[nodiscard]] std::uint64_t backfillCount() const { return backfills_; }
+
+ private:
+  void schedulePass(sim::Simulator& simulator);
+  void enqueue(const sim::Simulator& simulator, JobId job);
+
+  EasyConfig config_;
+  std::vector<JobId> queue_;  ///< FCFS or shortest-first, per config
+  std::uint64_t backfills_ = 0;
+};
+
+}  // namespace sps::sched

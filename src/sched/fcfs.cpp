@@ -1,0 +1,28 @@
+#include "sched/fcfs.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace sps::sched {
+
+void FcfsScheduler::onJobArrival(sim::Simulator& simulator, JobId job) {
+  queue_.push_back(job);
+  dispatch(simulator);
+}
+
+void FcfsScheduler::onJobCompletion(sim::Simulator& simulator, JobId /*job*/) {
+  dispatch(simulator);
+}
+
+void FcfsScheduler::dispatch(sim::Simulator& simulator) {
+  while (!queue_.empty() &&
+         simulator.job(queue_.front()).procs <= simulator.freeCount()) {
+    simulator.startJob(queue_.front());
+    queue_.pop_front();
+  }
+}
+
+void FcfsScheduler::onSimulationEnd(sim::Simulator& /*simulator*/) {
+  SPS_CHECK_MSG(queue_.empty(), "FCFS queue not drained at end of run");
+}
+
+}  // namespace sps::sched

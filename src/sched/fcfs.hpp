@@ -1,0 +1,28 @@
+// First-come-first-served scheduling (Section II of the paper).
+//
+// Jobs start strictly in submission order; the head job blocks everything
+// behind it until enough processors free up. Included as the classical
+// baseline whose fragmentation losses motivate backfilling.
+#pragma once
+
+#include <deque>
+
+#include "sim/policy.hpp"
+
+namespace sps::sched {
+
+class FcfsScheduler final : public sim::SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "FCFS"; }
+
+  void onJobArrival(sim::Simulator& simulator, JobId job) override;
+  void onJobCompletion(sim::Simulator& simulator, JobId job) override;
+  void onSimulationEnd(sim::Simulator& simulator) override;
+
+ private:
+  void dispatch(sim::Simulator& simulator);
+
+  std::deque<JobId> queue_;  ///< submission order
+};
+
+}  // namespace sps::sched

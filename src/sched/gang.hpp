@@ -1,0 +1,93 @@
+// Gang scheduling — the other classical answer (besides backfilling) to
+// FCFS fragmentation that the paper discusses in Section II (Feitelson &
+// Jette [35]): all processes of a job are co-scheduled, and the machine
+// time-slices between "slots" of an Ousterhout matrix.
+//
+// Model:
+//  * The matrix has up to `maxSlots` rows; each row holds jobs whose
+//    processor demands sum to at most the machine size. Jobs in different
+//    rows may use the same processors — they never run simultaneously.
+//  * The active row's jobs run; every `slotQuantum` seconds the scheduler
+//    suspends the active row and resumes the next non-empty row (each job
+//    on its exact previous processors — gang scheduling is local
+//    preemption too, so the paper's overhead model applies unchanged and
+//    prices the context sweep).
+//  * Arrivals are placed into the first row with room, a fresh row if the
+//    matrix is not full, and otherwise wait in a FIFO queue.
+//  * A row that empties is deleted; with a single populated row the
+//    scheduler stops slicing (no needless suspensions).
+//
+// Included as an extension baseline: it shows what uniform time-slicing
+// buys (interactive response for everything) and costs (runtime dilation
+// proportional to the multiprogramming level) next to SS's *selective*
+// preemption.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace sps::sched {
+
+struct GangConfig {
+  /// Length of one time slice, seconds.
+  Time slotQuantum = 10 * kMinute;
+  /// Maximum multiprogramming level (rows of the Ousterhout matrix).
+  std::size_t maxSlots = 4;
+};
+
+class GangScheduler final : public sim::SchedulingPolicy {
+ public:
+  explicit GangScheduler(GangConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const GangConfig& config() const { return config_; }
+
+  void onJobArrival(sim::Simulator& simulator, JobId job) override;
+  void onJobCompletion(sim::Simulator& simulator, JobId job) override;
+  void onSuspendDrained(sim::Simulator& simulator, JobId job) override;
+  void onTimer(sim::Simulator& simulator, std::uint64_t tag) override;
+  void onSimulationEnd(sim::Simulator& simulator) override;
+
+  /// Current number of populated rows (tests/diagnostics).
+  [[nodiscard]] std::size_t slotCount() const { return slots_.size(); }
+  /// Completed slot switches.
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+
+ private:
+  struct Slot {
+    std::vector<JobId> jobs;
+    std::uint32_t load = 0;  ///< sum of member widths
+  };
+
+  /// Row a job can join (capacity check), or slots_.size() for "none".
+  [[nodiscard]] std::size_t findSlotFor(const sim::Simulator& s,
+                                        std::uint32_t procs) const;
+  /// Put a job into a row (creating one if allowed); returns false when the
+  /// matrix is full and the job must wait in the FIFO queue.
+  bool placeJob(sim::Simulator& simulator, JobId job);
+  /// Launch every member of the active row that is not already running:
+  /// resumptions first (exact sets), then first-time starts.
+  void launchActiveSlot(sim::Simulator& simulator);
+  /// Begin the suspend-drain-activate sequence toward the next row.
+  void beginSwitch(sim::Simulator& simulator);
+  void finishSwitchIfDrained(sim::Simulator& simulator);
+  void armQuantum(sim::Simulator& simulator);
+  void removeJob(sim::Simulator& simulator, JobId job);
+  void drainPendingQueue(sim::Simulator& simulator);
+
+  GangConfig config_;
+  std::vector<Slot> slots_;
+  std::size_t active_ = 0;
+  std::deque<JobId> pending_;  ///< FIFO overflow queue
+  bool switching_ = false;
+  std::size_t targetSlot_ = 0;
+  std::uint32_t drainsOutstanding_ = 0;
+  bool quantumArmed_ = false;
+  std::uint64_t quantumEpoch_ = 0;  ///< invalidates stale quantum timers
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace sps::sched

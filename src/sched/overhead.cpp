@@ -1,0 +1,29 @@
+#include "sched/overhead.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sps::sched {
+
+DiskSwapOverhead::DiskSwapOverhead(const workload::Trace& trace,
+                                   double mbPerSecond)
+    : trace_(trace), mbPerSecond_(mbPerSecond) {
+  SPS_CHECK_MSG(mbPerSecond > 0.0, "bandwidth must be positive");
+}
+
+Time DiskSwapOverhead::transferSeconds(JobId job) const {
+  SPS_CHECK(job < trace_.jobs.size());
+  const double mb = static_cast<double>(trace_.jobs[job].memoryMb);
+  return static_cast<Time>(std::ceil(mb / mbPerSecond_));
+}
+
+Time DiskSwapOverhead::suspendOverhead(JobId job) const {
+  return transferSeconds(job);
+}
+
+Time DiskSwapOverhead::resumeOverhead(JobId job) const {
+  return transferSeconds(job);
+}
+
+}  // namespace sps::sched

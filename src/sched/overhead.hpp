@@ -1,0 +1,48 @@
+// Suspension/restart overhead models (Section V-A of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/policy.hpp"
+#include "workload/job.hpp"
+
+namespace sps::sched {
+
+/// The paper's model: every node has a commodity local disk; each processor
+/// writes (reads) its share of the job's memory image at a fixed bandwidth.
+/// Overhead is therefore memoryMb / bandwidth, independent of job width —
+/// all processors drain in parallel. The paper's configuration: per-processor
+/// image uniform in [100 MB, 1 GB] (sampled by the workload generator into
+/// Job::memoryMb) and 2 MB/s per processor (8 MB/s disk shared by a quad).
+class DiskSwapOverhead final : public sim::OverheadPolicy {
+ public:
+  /// The trace must outlive this object.
+  DiskSwapOverhead(const workload::Trace& trace, double mbPerSecond = 2.0);
+
+  [[nodiscard]] Time suspendOverhead(JobId job) const override;
+  [[nodiscard]] Time resumeOverhead(JobId job) const override;
+
+  [[nodiscard]] double bandwidthMbPerSecond() const { return mbPerSecond_; }
+
+ private:
+  [[nodiscard]] Time transferSeconds(JobId job) const;
+
+  const workload::Trace& trace_;
+  double mbPerSecond_;
+};
+
+/// Fixed cost per suspension/resumption, for ablations and tests.
+class FixedOverhead final : public sim::OverheadPolicy {
+ public:
+  FixedOverhead(Time suspendSeconds, Time resumeSeconds)
+      : suspend_(suspendSeconds), resume_(resumeSeconds) {}
+
+  [[nodiscard]] Time suspendOverhead(JobId) const override { return suspend_; }
+  [[nodiscard]] Time resumeOverhead(JobId) const override { return resume_; }
+
+ private:
+  Time suspend_;
+  Time resume_;
+};
+
+}  // namespace sps::sched

@@ -1,0 +1,402 @@
+#include "sched/selective_suspension.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace sps::sched {
+
+namespace {
+constexpr std::uint64_t kTickTag = 0;
+
+/// Scheduler-visible category of a job: computed from the user estimate,
+/// the only runtime signal available before completion.
+std::size_t estimateCategory(const workload::Job& j) {
+  return workload::category16(j.estimate, j.procs);
+}
+}  // namespace
+
+SelectiveSuspension::SelectiveSuspension(SsConfig config)
+    : config_(config) {
+  SPS_CHECK_MSG(config_.suspensionFactor >= 1.0,
+                "suspension factor must be >= 1");
+  SPS_CHECK_MSG(config_.preemptionInterval > 0,
+                "preemption interval must be positive");
+  SPS_CHECK_MSG(!(config_.tssLimits && config_.tssOnlineMultiplier),
+                "static and online TSS limits are mutually exclusive");
+  if (config_.tssOnlineMultiplier)
+    SPS_CHECK_MSG(*config_.tssOnlineMultiplier > 0,
+                  "online TSS multiplier must be positive");
+}
+
+std::string SelectiveSuspension::name() const {
+  std::ostringstream os;
+  if (config_.tssOnlineMultiplier) os << "TSS-online";
+  else os << (config_.tssLimits ? "TSS" : "SS");
+  os << "(SF=" << config_.suspensionFactor << ")";
+  return os.str();
+}
+
+void SelectiveSuspension::onSimulationStart(sim::Simulator& /*simulator*/) {}
+
+void SelectiveSuspension::onJobArrival(sim::Simulator& simulator,
+                                       JobId /*job*/) {
+  dispatch(simulator);
+  armTick(simulator);
+}
+
+void SelectiveSuspension::onJobCompletion(sim::Simulator& simulator,
+                                          JobId job) {
+  if (config_.tssOnlineMultiplier) {
+    const auto& j = simulator.job(job);
+    const auto& x = simulator.exec(job);
+    const auto tat = static_cast<double>(x.finish - j.submit);
+    const double sd = std::max(
+        1.0, tat / static_cast<double>(std::max<Time>(j.runtime, 10)));
+    auto& [n, mean] = onlineSlowdowns_[estimateCategory(j)];
+    ++n;
+    mean += (sd - mean) / static_cast<double>(n);
+  }
+  dispatch(simulator);
+}
+
+void SelectiveSuspension::onSuspendDrained(sim::Simulator& simulator,
+                                           JobId /*job*/) {
+  dispatch(simulator);
+}
+
+void SelectiveSuspension::onTimer(sim::Simulator& simulator,
+                                  std::uint64_t tag) {
+  SPS_CHECK(tag == kTickTag);
+  tickArmed_ = false;
+  preemptionPass(simulator);
+  dispatch(simulator);
+  if (!simulator.queuedJobs().empty() || !simulator.suspendedJobs().empty())
+    armTick(simulator);
+}
+
+void SelectiveSuspension::armTick(sim::Simulator& simulator) {
+  if (tickArmed_) return;
+  tickArmed_ = true;
+  simulator.scheduleTimer(simulator.now() + config_.preemptionInterval,
+                          kTickTag);
+}
+
+bool SelectiveSuspension::isClaimant(JobId id) const {
+  return std::any_of(claims_.begin(), claims_.end(),
+                     [id](const Claim& c) { return c.job == id; });
+}
+
+std::uint32_t SelectiveSuspension::claimedCount(
+    const sim::Simulator& s) const {
+  std::uint32_t n = 0;
+  for (const Claim& c : claims_)
+    if (!c.exact) n += s.job(c.job).procs;
+  return n;
+}
+
+sim::ProcSet SelectiveSuspension::claimedSet(const sim::Simulator& s) const {
+  sim::ProcSet set;
+  for (const Claim& c : claims_)
+    if (c.exact) set |= s.exec(c.job).procs;
+  return set;
+}
+
+sim::ProcSet SelectiveSuspension::suspendedSets(
+    const sim::Simulator& s) const {
+  sim::ProcSet set;
+  if (config_.migratableJobs) return set;  // migration: nothing is owed
+  for (JobId id : s.suspendedJobs())
+    if (s.exec(id).state == sim::JobState::Suspended)
+      set |= s.exec(id).procs;
+  return set;
+}
+
+void SelectiveSuspension::startFreshPreferring(sim::Simulator& s, JobId id) {
+  const sim::ProcSet fenced = claimedSet(s);
+  switch (config_.owedProcs) {
+    case OwedProcsPolicy::Squat:
+      s.startJobAvoiding(id, fenced);
+      break;
+    case OwedProcsPolicy::Prefer:
+      s.startJobPreferring(id, suspendedSets(s), fenced);
+      break;
+    case OwedProcsPolicy::Lease:
+      s.startJobAvoiding(id, fenced | suspendedSets(s));
+      break;
+  }
+}
+
+bool SelectiveSuspension::victimEligible(const sim::Simulator& s,
+                                         JobId victim,
+                                         double preemptorPriority,
+                                         std::uint32_t preemptorWidth,
+                                         bool reentry) const {
+  if (s.exec(victim).state != sim::JobState::Running) return false;
+  const double victimPriority = s.xfactor(victim);
+  if (preemptorPriority < config_.suspensionFactor * victimPriority)
+    return false;
+  // Half-width rule: only for fresh preemptors (Section IV-C removes it for
+  // reentry, otherwise a narrow job stranded under a wide one could wait for
+  // the wide job's entire remaining runtime).
+  if (!reentry && config_.halfWidthRule &&
+      2 * preemptorWidth < s.job(victim).procs)
+    return false;
+  // TSS victim protection: a job whose priority already exceeds its category
+  // limit has suffered enough; preempting it would blow up the worst case.
+  if (config_.tssLimits) {
+    const double limit = (*config_.tssLimits)[estimateCategory(s.job(victim))];
+    if (victimPriority >= limit) return false;
+  }
+  if (config_.tssOnlineMultiplier) {
+    const auto& [n, mean] = onlineSlowdowns_[estimateCategory(s.job(victim))];
+    if (n >= config_.tssOnlineMinSamples &&
+        victimPriority >= *config_.tssOnlineMultiplier * mean)
+      return false;
+  }
+  return true;
+}
+
+std::vector<JobId> SelectiveSuspension::idleByPriority(
+    const sim::Simulator& s) const {
+  std::vector<JobId> idle;
+  idle.reserve(s.queuedJobs().size() + s.suspendedJobs().size());
+  for (JobId id : s.queuedJobs())
+    if (!isClaimant(id)) idle.push_back(id);
+  for (JobId id : s.suspendedJobs())
+    if (s.exec(id).state == sim::JobState::Suspended && !isClaimant(id))
+      idle.push_back(id);
+  std::sort(idle.begin(), idle.end(), [&s](JobId a, JobId b) {
+    const double xa = s.xfactor(a), xb = s.xfactor(b);
+    if (xa != xb) return xa > xb;
+    if (s.job(a).submit != s.job(b).submit)
+      return s.job(a).submit < s.job(b).submit;
+    return a < b;
+  });
+  return idle;
+}
+
+void SelectiveSuspension::dispatch(sim::Simulator& simulator) {
+  // Serve claimants first, in claim order (they were fenced in priority
+  // order by the preemption pass).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < claims_.size(); ++i) {
+      const Claim c = claims_[i];
+      const auto& x = simulator.exec(c.job);
+      if (c.exact) {
+        if (x.procs.isSubsetOf(simulator.freeSet())) {
+          claims_.erase(claims_.begin() + static_cast<std::ptrdiff_t>(i));
+          simulator.resumeJob(c.job);
+          progress = true;
+          break;
+        }
+      } else {
+        const sim::ProcSet fenced = claimedSet(simulator);
+        const sim::ProcSet usable = simulator.freeSet() - fenced;
+        if (usable.count() >= simulator.job(c.job).procs) {
+          claims_.erase(claims_.begin() + static_cast<std::ptrdiff_t>(i));
+          // The claimant paid for its victims' processors; everything else
+          // owed to suspended jobs is touched only for the shortfall. A
+          // suspended claimant only arises in the migratable model (its
+          // count-based claim could not otherwise exist).
+          if (x.state == sim::JobState::Suspended)
+            simulator.resumeJobMigrating(c.job, fenced);
+          else
+            simulator.startJobPreferring(c.job, suspendedSets(simulator),
+                                         fenced);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Resume-first: a suspended job holds an implicit lease on its exact
+  // processors (local preemption, no migration), so whenever they free it
+  // reclaims them before any fresh job can squat. Without this, every wide
+  // start entombs the suspended jobs under its footprint for its whole
+  // runtime and parked capacity accumulates until utilization collapses.
+  // Reentry on already-free processors needs no priority test; overlapping
+  // suspended sets resolve by priority order.
+  for (JobId id : idleByPriority(simulator)) {
+    const auto& x = simulator.exec(id);
+    if (x.state != sim::JobState::Suspended) continue;
+    const sim::ProcSet fenced = claimedSet(simulator);
+    const std::uint32_t countFence = claimedCount(simulator);
+    const sim::ProcSet usable = simulator.freeSet() - fenced;
+    if (config_.migratableJobs) {
+      if (usable.count() >= simulator.job(id).procs + countFence)
+        simulator.resumeJobMigrating(id, fenced);
+      continue;
+    }
+    if (x.procs.isSubsetOf(simulator.freeSet()) &&
+        !x.procs.intersects(fenced)) {
+      if (usable.count() >= x.procs.count() + countFence)
+        simulator.resumeJob(id);
+    }
+  }
+
+  // Backfilling without guarantees: walk queued jobs in priority order and
+  // start anything that fits on unclaimed capacity; do not stop at the
+  // first job that does not fit.
+  for (JobId id : idleByPriority(simulator)) {
+    const auto& x = simulator.exec(id);
+    if (x.state != sim::JobState::Queued) continue;
+    const sim::ProcSet fenced = claimedSet(simulator);
+    const std::uint32_t countFence = claimedCount(simulator);
+    sim::ProcSet unusable = fenced;
+    if (config_.owedProcs == OwedProcsPolicy::Lease)
+      unusable |= suspendedSets(simulator);
+    const sim::ProcSet usable = simulator.freeSet() - unusable;
+    if (usable.count() >= simulator.job(id).procs + countFence)
+      startFreshPreferring(simulator, id);
+  }
+}
+
+void SelectiveSuspension::preemptionPass(sim::Simulator& simulator) {
+  // Sort the running set once: priorities are frozen while running, so the
+  // order cannot change during the pass. Jobs suspended or started during
+  // the pass are filtered by state when scanned (a job started this pass is
+  // simply not victimizable until the next tick).
+  std::vector<JobId> runningAsc(simulator.runningJobs());
+  std::sort(runningAsc.begin(), runningAsc.end(),
+            [&simulator](JobId a, JobId b) {
+              const double xa = simulator.xfactor(a);
+              const double xb = simulator.xfactor(b);
+              if (xa != xb) return xa < xb;
+              return a < b;
+            });
+
+  for (JobId id : idleByPriority(simulator)) {
+    const auto& x = simulator.exec(id);
+    // The idle snapshot can go stale as this loop suspends and starts jobs;
+    // skip anything no longer idle.
+    if (x.state != sim::JobState::Queued &&
+        x.state != sim::JobState::Suspended)
+      continue;
+    if (isClaimant(id)) continue;
+
+    const double priority = simulator.xfactor(id);
+    const bool reentry =
+        x.state == sim::JobState::Suspended && !config_.migratableJobs;
+    const std::uint32_t width = simulator.job(id).procs;
+
+    if (reentry) {
+      // Must reclaim the exact saved set: every current occupant of those
+      // processors has to be an eligible victim, and none may be mid-drain.
+      const sim::ProcSet needed = x.procs;
+      if (needed.intersects(claimedSet(simulator))) continue;
+      std::vector<JobId> occupants;
+      bool blocked = false;
+      for (JobId r : simulator.runningJobs())
+        if (simulator.exec(r).procs.intersects(needed)) occupants.push_back(r);
+      for (JobId r : simulator.suspendedJobs())
+        if (simulator.exec(r).state == sim::JobState::Suspending &&
+            simulator.exec(r).procs.intersects(needed))
+          blocked = true;  // draining; try again next tick
+      if (blocked) continue;
+      sim::ProcSet covered = needed & simulator.freeSet();
+      for (JobId r : occupants) {
+        if (!victimEligible(simulator, r, priority, width,
+                            /*reentry=*/true)) {
+          blocked = true;
+          break;
+        }
+        covered |= simulator.exec(r).procs & needed;
+      }
+      if (blocked || !(needed - covered).empty()) continue;
+      if (occupants.empty()) continue;  // dispatch() handles the free case
+      bool anyDraining = false;
+      for (JobId r : occupants) {
+        simulator.suspendJob(r);
+        ++preemptions_;
+        if (simulator.exec(r).state == sim::JobState::Suspending)
+          anyDraining = true;
+      }
+      if (anyDraining) {
+        claims_.push_back({id, /*exact=*/true});
+      } else {
+        simulator.resumeJob(id);
+      }
+    } else {
+      // Fresh preemptor: collect the lowest-priority eligible victims until
+      // free + gain covers the request (pseudocode label suspend_jobs_1).
+      // Under the lease discipline, processors owed to OTHER suspended jobs
+      // are not usable — the preemptor runs on its victims' processors plus
+      // unowed free ones.
+      sim::ProcSet offLimits = claimedSet(simulator);
+      if (config_.owedProcs == OwedProcsPolicy::Lease)
+        offLimits |= suspendedSets(simulator);
+      const std::uint32_t countFence = claimedCount(simulator);
+      const std::uint32_t usableFree =
+          (simulator.freeSet() - offLimits).count();
+      const std::uint32_t freeNow =
+          usableFree >= countFence ? usableFree - countFence : 0;
+      if (freeNow >= width) continue;  // dispatch() handles the free case
+
+      std::vector<JobId> candidates;
+      std::uint32_t gain = 0;
+      for (JobId r : runningAsc) {
+        if (!victimEligible(simulator, r, priority, width,
+                            /*reentry=*/false))
+          continue;
+        candidates.push_back(r);
+        gain += simulator.job(r).procs;
+        if (freeNow + gain >= width) break;
+      }
+      if (freeNow + gain < width) continue;
+
+      // Suspend the widest candidates first so the fewest jobs are hit.
+      std::sort(candidates.begin(), candidates.end(),
+                [&simulator](JobId a, JobId b) {
+                  if (simulator.job(a).procs != simulator.job(b).procs)
+                    return simulator.job(a).procs > simulator.job(b).procs;
+                  return a < b;
+                });
+      std::uint32_t freed = 0;
+      bool anyDraining = false;
+      sim::ProcSet victimProcs;
+      for (JobId r : candidates) {
+        if (freeNow + freed >= width) break;
+        victimProcs |= simulator.exec(r).procs;
+        simulator.suspendJob(r);
+        ++preemptions_;
+        freed += simulator.job(r).procs;
+        if (simulator.exec(r).state == sim::JobState::Suspending)
+          anyDraining = true;
+      }
+      if (anyDraining) {
+        claims_.push_back({id, /*exact=*/false});
+      } else if (x.state == sim::JobState::Suspended) {
+        // Migratable model: the suspended preemptor restarts on whatever
+        // freed up (reentry == false only when migratableJobs is set).
+        simulator.resumeJobMigrating(id, claimedSet(simulator));
+      } else {
+        // Use the victims' processors in preference to (Lease: instead of)
+        // processors owed to other suspended jobs — squatting on an owed
+        // set strands its owner until the squatter completes.
+        const sim::ProcSet owedOthers =
+            suspendedSets(simulator) - victimProcs;
+        if (config_.owedProcs == OwedProcsPolicy::Lease)
+          simulator.startJobAvoiding(id,
+                                     claimedSet(simulator) | owedOthers);
+        else
+          simulator.startJobPreferring(id, owedOthers,
+                                       claimedSet(simulator));
+      }
+    }
+  }
+}
+
+void SelectiveSuspension::onSimulationEnd(sim::Simulator& simulator) {
+  SPS_CHECK_MSG(claims_.empty(), "unserved claims at end of run");
+  SPS_CHECK_MSG(simulator.queuedJobs().empty(),
+                "SS queue not drained at end of run");
+  SPS_CHECK_MSG(simulator.suspendedJobs().empty(),
+                "suspended jobs stranded at end of run");
+}
+
+}  // namespace sps::sched

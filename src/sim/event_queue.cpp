@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+namespace sps::sim {
+
+void EventQueue::push(Time time, EventType type, std::uint64_t payload,
+                      std::uint64_t generation) {
+  Event e;
+  e.time = time;
+  e.seq = nextSeq_++;
+  e.type = type;
+  e.payload = payload;
+  e.generation = generation;
+  heap_.push(e);
+}
+
+Time EventQueue::nextTime() const {
+  SPS_CHECK_MSG(!heap_.empty(), "nextTime() on empty queue");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  SPS_CHECK_MSG(!heap_.empty(), "pop() on empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace sps::sim

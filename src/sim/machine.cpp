@@ -1,0 +1,82 @@
+#include "sim/machine.hpp"
+
+namespace sps::sim {
+
+Machine::Machine(std::uint32_t totalProcs)
+    : total_(totalProcs), free_(ProcSet::firstN(totalProcs)) {
+  SPS_CHECK_MSG(totalProcs > 0 && totalProcs <= ProcSet::kMaxProcs,
+                "machine size " << totalProcs << " out of range");
+}
+
+void Machine::advance(Time now) {
+  SPS_CHECK_MSG(now >= lastChange_, "machine time went backwards: " << now
+                                        << " < " << lastChange_);
+  busyIntegral_ += static_cast<double>(busyCount()) *
+                   static_cast<double>(now - lastChange_);
+  lastChange_ = now;
+}
+
+ProcSet Machine::allocate(std::uint32_t n, Time now) {
+  SPS_CHECK_MSG(n > 0, "allocate(0)");
+  SPS_CHECK_MSG(n <= freeCount(),
+                "allocate(" << n << ") with only " << freeCount() << " free");
+  advance(now);
+  ProcSet chosen = free_.lowest(n);
+  free_ -= chosen;
+  return chosen;
+}
+
+ProcSet Machine::allocateAvoiding(std::uint32_t n, const ProcSet& avoid,
+                                  Time now) {
+  SPS_CHECK_MSG(n > 0, "allocateAvoiding(0)");
+  const ProcSet pool = free_ - avoid;
+  SPS_CHECK_MSG(n <= pool.count(), "allocateAvoiding(" << n << ") with only "
+                                       << pool.count()
+                                       << " unreserved free processors");
+  advance(now);
+  ProcSet chosen = pool.lowest(n);
+  free_ -= chosen;
+  return chosen;
+}
+
+ProcSet Machine::allocatePreferring(std::uint32_t n, const ProcSet& avoid,
+                                    Time now) {
+  SPS_CHECK_MSG(n > 0, "allocatePreferring(0)");
+  SPS_CHECK_MSG(n <= freeCount(), "allocatePreferring(" << n << ") with only "
+                                      << freeCount() << " free");
+  advance(now);
+  const ProcSet preferred = free_ - avoid;
+  ProcSet chosen;
+  if (preferred.count() >= n) {
+    chosen = preferred.lowest(n);
+  } else {
+    chosen = preferred;
+    chosen |= (free_ & avoid).lowest(n - preferred.count());
+  }
+  free_ -= chosen;
+  return chosen;
+}
+
+void Machine::allocateExact(const ProcSet& procs, Time now) {
+  SPS_CHECK_MSG(!procs.empty(), "allocateExact of empty set");
+  SPS_CHECK_MSG(procs.isSubsetOf(free_),
+                "allocateExact of non-free processors " << procs.toString());
+  advance(now);
+  free_ -= procs;
+}
+
+void Machine::release(const ProcSet& procs, Time now) {
+  SPS_CHECK_MSG(!procs.empty(), "release of empty set");
+  SPS_CHECK_MSG(!procs.intersects(free_),
+                "release of already-free processors " << procs.toString());
+  advance(now);
+  free_ |= procs;
+}
+
+double Machine::busyProcSeconds(Time now) const {
+  SPS_CHECK(now >= lastChange_);
+  return busyIntegral_ + static_cast<double>(busyCount()) *
+                             static_cast<double>(now - lastChange_);
+}
+
+}  // namespace sps::sim

@@ -1,0 +1,61 @@
+// Machine — named-processor allocation with a busy-time integral.
+//
+// Owns the free/busy partition of the machine's processors, allocates
+// concrete processor sets to jobs, and integrates busy processor-seconds for
+// the utilization figures (Figs. 35, 38, 41–44 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/procset.hpp"
+#include "util/types.hpp"
+
+namespace sps::sim {
+
+class Machine {
+ public:
+  /// A machine with processors {0, ..., totalProcs-1}, all free.
+  explicit Machine(std::uint32_t totalProcs);
+
+  [[nodiscard]] std::uint32_t totalProcs() const { return total_; }
+  [[nodiscard]] std::uint32_t freeCount() const { return free_.count(); }
+  [[nodiscard]] std::uint32_t busyCount() const { return total_ - freeCount(); }
+  [[nodiscard]] const ProcSet& freeSet() const { return free_; }
+
+  /// Allocate the `n` lowest-numbered free processors at time `now`.
+  /// Requires n <= freeCount(). First-fit-by-number keeps allocation
+  /// deterministic and maximally packs low processor IDs.
+  ProcSet allocate(std::uint32_t n, Time now);
+
+  /// Allocate the `n` lowest-numbered free processors that are NOT in
+  /// `avoid`. Used by preemptive policies to keep freshly-freed processors
+  /// reserved for the preemptor that paid for them. Requires n free
+  /// processors outside `avoid`.
+  ProcSet allocateAvoiding(std::uint32_t n, const ProcSet& avoid, Time now);
+
+  /// Allocate `n` free processors, drawing from outside `avoid` first and
+  /// dipping into `avoid` only for the shortfall — minimizes the overlap
+  /// with processor sets owed to suspended jobs when full avoidance is
+  /// impossible. Requires n <= freeCount().
+  ProcSet allocatePreferring(std::uint32_t n, const ProcSet& avoid, Time now);
+
+  /// Allocate exactly `procs` (all must currently be free) — the resume path
+  /// of a suspended job, which must reclaim its original processors.
+  void allocateExact(const ProcSet& procs, Time now);
+
+  /// Release `procs` (all must currently be busy).
+  void release(const ProcSet& procs, Time now);
+
+  /// Busy processor-seconds integrated from t=0 through `now`.
+  [[nodiscard]] double busyProcSeconds(Time now) const;
+
+ private:
+  void advance(Time now);
+
+  std::uint32_t total_;
+  ProcSet free_;
+  Time lastChange_ = 0;
+  double busyIntegral_ = 0.0;
+};
+
+}  // namespace sps::sim

@@ -1,0 +1,130 @@
+#include "sim/procset.hpp"
+
+#include <sstream>
+
+namespace sps::sim {
+
+ProcSet ProcSet::firstN(std::uint32_t n) {
+  SPS_CHECK_MSG(n <= kMaxProcs, "firstN(" << n << ") exceeds capacity");
+  ProcSet s;
+  std::uint32_t full = n / 64;
+  for (std::uint32_t w = 0; w < full; ++w) s.words_[w] = ~std::uint64_t{0};
+  const std::uint32_t rem = n % 64;
+  if (rem != 0) s.words_[full] = (std::uint64_t{1} << rem) - 1;
+  return s;
+}
+
+std::uint32_t ProcSet::count() const {
+  std::uint32_t c = 0;
+  for (auto w : words_) c += static_cast<std::uint32_t>(__builtin_popcountll(w));
+  return c;
+}
+
+bool ProcSet::empty() const {
+  for (auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+bool ProcSet::intersects(const ProcSet& other) const {
+  for (std::size_t i = 0; i < kWords; ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+bool ProcSet::isSubsetOf(const ProcSet& other) const {
+  for (std::size_t i = 0; i < kWords; ++i)
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  return true;
+}
+
+ProcSet ProcSet::operator|(const ProcSet& other) const {
+  ProcSet r = *this;
+  r |= other;
+  return r;
+}
+
+ProcSet ProcSet::operator&(const ProcSet& other) const {
+  ProcSet r = *this;
+  r &= other;
+  return r;
+}
+
+ProcSet ProcSet::operator-(const ProcSet& other) const {
+  ProcSet r = *this;
+  r -= other;
+  return r;
+}
+
+ProcSet& ProcSet::operator|=(const ProcSet& other) {
+  for (std::size_t i = 0; i < kWords; ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+ProcSet& ProcSet::operator&=(const ProcSet& other) {
+  for (std::size_t i = 0; i < kWords; ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+ProcSet& ProcSet::operator-=(const ProcSet& other) {
+  for (std::size_t i = 0; i < kWords; ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+ProcSet ProcSet::lowest(std::uint32_t n) const {
+  SPS_CHECK_MSG(n <= count(),
+                "lowest(" << n << ") from set of " << count());
+  ProcSet r;
+  std::uint32_t taken = 0;
+  for (std::size_t w = 0; w < kWords && taken < n; ++w) {
+    std::uint64_t bits = words_[w];
+    const auto avail = static_cast<std::uint32_t>(__builtin_popcountll(bits));
+    if (taken + avail <= n) {
+      r.words_[w] = bits;
+      taken += avail;
+    } else {
+      while (taken < n) {
+        const std::uint64_t low = bits & (~bits + 1);
+        r.words_[w] |= low;
+        bits ^= low;
+        ++taken;
+      }
+    }
+  }
+  return r;
+}
+
+std::uint32_t ProcSet::first() const {
+  for (std::size_t w = 0; w < kWords; ++w)
+    if (words_[w] != 0)
+      return static_cast<std::uint32_t>(w * 64) +
+             static_cast<std::uint32_t>(__builtin_ctzll(words_[w]));
+  SPS_CHECK_MSG(false, "first() on empty ProcSet");
+  return 0;  // unreachable
+}
+
+std::string ProcSet::toString() const {
+  std::ostringstream os;
+  os << '{';
+  bool firstRange = true;
+  std::int64_t runStart = -1, prev = -2;
+  auto flush = [&]() {
+    if (runStart < 0) return;
+    if (!firstRange) os << ',';
+    firstRange = false;
+    if (runStart == prev) os << runStart;
+    else os << runStart << '-' << prev;
+  };
+  forEach([&](std::uint32_t p) {
+    if (static_cast<std::int64_t>(p) != prev + 1) {
+      flush();
+      runStart = p;
+    }
+    prev = p;
+  });
+  flush();
+  os << '}';
+  return os.str();
+}
+
+}  // namespace sps::sim

@@ -1,0 +1,89 @@
+// ProcSet — a fixed-capacity bitset over named processors.
+//
+// Local preemption (the model in the paper: no process migration) requires a
+// suspended job to resume on the *identical* set of processors, so the
+// simulator tracks concrete processor IDs rather than free counts. A flat
+// 1024-bit set (16 machine words) covers every machine in the study (CTC SP2
+// = 430, SDSC SP2 = 128, KTH SP2 = 100) with room for larger systems, and
+// keeps every set operation branch-free over a few words.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace sps::sim {
+
+class ProcSet {
+ public:
+  static constexpr std::uint32_t kMaxProcs = 1024;
+  static constexpr std::size_t kWords = kMaxProcs / 64;
+
+  /// The empty set.
+  constexpr ProcSet() : words_{} {}
+
+  /// The set {0, 1, ..., n-1}. Requires n <= kMaxProcs.
+  static ProcSet firstN(std::uint32_t n);
+
+  [[nodiscard]] bool contains(std::uint32_t proc) const {
+    SPS_DCHECK(proc < kMaxProcs);
+    return (words_[proc >> 6] >> (proc & 63)) & 1u;
+  }
+
+  void insert(std::uint32_t proc) {
+    SPS_DCHECK(proc < kMaxProcs);
+    words_[proc >> 6] |= std::uint64_t{1} << (proc & 63);
+  }
+
+  void erase(std::uint32_t proc) {
+    SPS_DCHECK(proc < kMaxProcs);
+    words_[proc >> 6] &= ~(std::uint64_t{1} << (proc & 63));
+  }
+
+  void clear() { words_.fill(0); }
+
+  [[nodiscard]] std::uint32_t count() const;
+  [[nodiscard]] bool empty() const;
+
+  [[nodiscard]] bool intersects(const ProcSet& other) const;
+  [[nodiscard]] bool isSubsetOf(const ProcSet& other) const;
+
+  [[nodiscard]] ProcSet operator|(const ProcSet& other) const;
+  [[nodiscard]] ProcSet operator&(const ProcSet& other) const;
+  /// Set difference: elements of *this not in other.
+  [[nodiscard]] ProcSet operator-(const ProcSet& other) const;
+  ProcSet& operator|=(const ProcSet& other);
+  ProcSet& operator&=(const ProcSet& other);
+  ProcSet& operator-=(const ProcSet& other);
+
+  bool operator==(const ProcSet& other) const = default;
+
+  /// The n lowest-numbered processors of this set. Requires n <= count().
+  [[nodiscard]] ProcSet lowest(std::uint32_t n) const;
+
+  /// Lowest-numbered member; requires non-empty.
+  [[nodiscard]] std::uint32_t first() const;
+
+  /// Visit members in increasing order. F: void(std::uint32_t).
+  template <typename F>
+  void forEach(F&& f) const {
+    for (std::size_t w = 0; w < kWords; ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(bits));
+        f(static_cast<std::uint32_t>(w * 64) + bit);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Compact human-readable form, e.g. "{0-3,7,12-15}".
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::array<std::uint64_t, kWords> words_;
+};
+
+}  // namespace sps::sim

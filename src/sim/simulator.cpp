@@ -1,0 +1,329 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace sps::sim {
+
+const char* jobStateName(JobState state) {
+  switch (state) {
+    case JobState::NotArrived: return "NotArrived";
+    case JobState::Queued: return "Queued";
+    case JobState::Running: return "Running";
+    case JobState::Suspending: return "Suspending";
+    case JobState::Suspended: return "Suspended";
+    case JobState::Finished: return "Finished";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const workload::Trace& trace, SchedulingPolicy& policy,
+                     Config config)
+    : trace_(trace),
+      policy_(policy),
+      config_(config),
+      machine_(trace.machineProcs),
+      exec_(trace.jobs.size()) {
+  workload::validateTrace(trace_);
+  unfinished_ = static_cast<std::uint32_t>(trace_.jobs.size());
+  firstSubmit_ = trace_.jobs.empty() ? 0 : trace_.jobs.front().submit;
+  lastSubmit_ = trace_.jobs.empty() ? 0 : trace_.jobs.back().submit;
+  for (const workload::Job& j : trace_.jobs)
+    events_.push(j.submit, EventType::JobArrival, j.id);
+}
+
+void Simulator::run() {
+  policy_.onSimulationStart(*this);
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    SPS_CHECK_MSG(e.time >= now_, "event time " << e.time << " before now "
+                                                << now_);
+    if (!steadySnapshotTaken_ && e.time >= lastSubmit_) {
+      // Integral through the last arrival instant, taken before any state
+      // change at or after it.
+      busyAtLastSubmit_ = machine_.busyProcSeconds(lastSubmit_);
+      steadySnapshotTaken_ = true;
+    }
+    now_ = e.time;
+    ++eventsProcessed_;
+    switch (e.type) {
+      case EventType::JobArrival:
+        handleArrival(static_cast<JobId>(e.payload));
+        break;
+      case EventType::JobCompletion:
+        handleCompletion(static_cast<JobId>(e.payload), e.generation);
+        break;
+      case EventType::SuspendDrained:
+        handleSuspendDrained(static_cast<JobId>(e.payload));
+        break;
+      case EventType::Timer:
+        policy_.onTimer(*this, e.payload);
+        break;
+    }
+  }
+  SPS_CHECK_MSG(unfinished_ == 0,
+                unfinished_ << " jobs never finished — policy starved them");
+  policy_.onSimulationEnd(*this);
+}
+
+void Simulator::handleArrival(JobId id) {
+  JobExec& x = exec_[id];
+  SPS_CHECK(x.state == JobState::NotArrived);
+  x.state = JobState::Queued;
+  x.remainingWork = job(id).runtime;
+  x.waitSince = now_;
+  queued_.push_back(id);
+  notifyStateChange(id, JobState::NotArrived, JobState::Queued);
+  policy_.onJobArrival(*this, id);
+}
+
+void Simulator::handleCompletion(JobId id, std::uint64_t generation) {
+  JobExec& x = exec_[id];
+  if (generation != x.completionGen) return;  // cancelled by a suspension
+  SPS_CHECK_MSG(x.state == JobState::Running,
+                "completion of job " << id << " in state "
+                                     << jobStateName(x.state));
+  machine_.release(x.procs, now_);
+  x.state = JobState::Finished;
+  x.remainingWork = 0;
+  x.finish = now_;
+  x.resumeOverheadElapsed += x.segOverhead;
+  x.segStart = kNoTime;
+  removeFrom(running_, id);
+  notifyStateChange(id, JobState::Running, JobState::Finished);
+  lastFinish_ = std::max(lastFinish_, now_);
+  SPS_CHECK(unfinished_ > 0);
+  --unfinished_;
+  policy_.onJobCompletion(*this, id);
+}
+
+void Simulator::handleSuspendDrained(JobId id) {
+  JobExec& x = exec_[id];
+  SPS_CHECK(x.state == JobState::Suspending);
+  machine_.release(x.procs, now_);
+  x.state = JobState::Suspended;
+  notifyStateChange(id, JobState::Suspending, JobState::Suspended);
+  policy_.onSuspendDrained(*this, id);
+}
+
+void Simulator::beginSegment(JobId id) {
+  JobExec& x = exec_[id];
+  const JobState from = x.state;
+  // Close the wait period.
+  SPS_CHECK(x.waitSince != kNoTime);
+  x.accumWait += now_ - x.waitSince;
+  x.waitSince = kNoTime;
+  x.state = JobState::Running;
+  x.segStart = now_;
+  x.segOverhead = 0;
+  if (x.suspendCount > 0 && config_.overhead != nullptr) {
+    x.segOverhead = config_.overhead->resumeOverhead(id);
+    SPS_CHECK(x.segOverhead >= 0);
+  }
+  if (x.firstStart == kNoTime) x.firstStart = now_;
+  running_.push_back(id);
+  events_.push(now_ + x.segOverhead + x.remainingWork,
+               EventType::JobCompletion, id, x.completionGen);
+  notifyStateChange(id, from, JobState::Running);
+}
+
+void Simulator::startJob(JobId id) {
+  JobExec& x = exec_[id];
+  SPS_CHECK_MSG(x.state == JobState::Queued,
+                "startJob(" << id << ") in state " << jobStateName(x.state));
+  SPS_CHECK_MSG(x.suspendCount == 0,
+                "startJob(" << id << ") on a previously-suspended job; use "
+                               "resumeJob");
+  const std::uint32_t want = job(id).procs;
+  SPS_CHECK_MSG(want <= machine_.freeCount(),
+                "startJob(" << id << "): wants " << want << ", free "
+                            << machine_.freeCount());
+  x.procs = machine_.allocate(want, now_);
+  removeFrom(queued_, id);
+  beginSegment(id);
+}
+
+void Simulator::startJobAvoiding(JobId id, const ProcSet& avoid) {
+  JobExec& x = exec_[id];
+  SPS_CHECK_MSG(x.state == JobState::Queued,
+                "startJobAvoiding(" << id << ") in state "
+                                    << jobStateName(x.state));
+  SPS_CHECK_MSG(x.suspendCount == 0,
+                "startJobAvoiding(" << id << ") on a previously-suspended "
+                                       "job; use resumeJob");
+  x.procs = machine_.allocateAvoiding(job(id).procs, avoid, now_);
+  removeFrom(queued_, id);
+  beginSegment(id);
+}
+
+void Simulator::startJobPreferring(JobId id, const ProcSet& softAvoid,
+                                   const ProcSet& hardAvoid) {
+  JobExec& x = exec_[id];
+  SPS_CHECK_MSG(x.state == JobState::Queued,
+                "startJobPreferring(" << id << ") in state "
+                                      << jobStateName(x.state));
+  SPS_CHECK_MSG(x.suspendCount == 0,
+                "startJobPreferring(" << id << ") on a previously-suspended "
+                                         "job; use resumeJob");
+  // Fence the hard set by pre-removing it from the pool: allocate from the
+  // remaining free processors, preferring those outside softAvoid.
+  const ProcSet pool = machine_.freeSet() - hardAvoid;
+  SPS_CHECK_MSG(pool.count() >= job(id).procs,
+                "startJobPreferring(" << id << "): insufficient unfenced "
+                                         "processors");
+  x.procs = machine_.allocatePreferring(job(id).procs, softAvoid | hardAvoid,
+                                        now_);
+  SPS_CHECK(!x.procs.intersects(hardAvoid));
+  removeFrom(queued_, id);
+  beginSegment(id);
+}
+
+void Simulator::resumeJob(JobId id) {
+  JobExec& x = exec_[id];
+  SPS_CHECK_MSG(x.state == JobState::Suspended,
+                "resumeJob(" << id << ") in state " << jobStateName(x.state));
+  machine_.allocateExact(x.procs, now_);
+  removeFrom(suspended_, id);
+  beginSegment(id);
+}
+
+void Simulator::resumeJobMigrating(JobId id, const ProcSet& avoid) {
+  JobExec& x = exec_[id];
+  SPS_CHECK_MSG(x.state == JobState::Suspended,
+                "resumeJobMigrating(" << id << ") in state "
+                                      << jobStateName(x.state));
+  x.procs = machine_.allocateAvoiding(job(id).procs, avoid, now_);
+  removeFrom(suspended_, id);
+  beginSegment(id);
+}
+
+void Simulator::suspendJob(JobId id) {
+  JobExec& x = exec_[id];
+  SPS_CHECK_MSG(x.state == JobState::Running,
+                "suspendJob(" << id << ") in state " << jobStateName(x.state));
+  // Work completed in the current segment (the read-back overhead at the
+  // front of the segment does no useful work).
+  const Time elapsed = now_ - x.segStart;
+  const Time done = std::clamp<Time>(elapsed - x.segOverhead, 0,
+                                     x.remainingWork);
+  x.remainingWork -= done;
+  x.resumeOverheadElapsed += std::min(elapsed, x.segOverhead);
+  ++x.completionGen;  // invalidate the scheduled completion
+  ++x.suspendCount;
+  ++totalSuspensions_;
+  x.segStart = kNoTime;
+  x.waitSince = now_;  // wait (and thus xfactor) accrues while suspended
+  removeFrom(running_, id);
+  suspended_.push_back(id);
+  Time drain = 0;
+  if (config_.overhead != nullptr) {
+    drain = config_.overhead->suspendOverhead(id);
+    SPS_CHECK(drain >= 0);
+    x.drainOverhead += drain;
+  }
+  if (drain > 0) {
+    x.state = JobState::Suspending;
+    events_.push(now_ + drain, EventType::SuspendDrained, id);
+    notifyStateChange(id, JobState::Running, JobState::Suspending);
+  } else {
+    x.state = JobState::Suspended;
+    machine_.release(x.procs, now_);
+    notifyStateChange(id, JobState::Running, JobState::Suspended);
+  }
+}
+
+void Simulator::notifyStateChange(JobId id, JobState from,
+                                  JobState to) const {
+  if (stateChangeHook_) stateChangeHook_(*this, id, from, to);
+}
+
+void Simulator::scheduleTimer(Time when, std::uint64_t tag) {
+  SPS_CHECK_MSG(when >= now_, "timer in the past: " << when << " < " << now_);
+  events_.push(when, EventType::Timer, tag);
+}
+
+Time Simulator::accumulatedWait(JobId id) const {
+  const JobExec& x = exec_[id];
+  Time wait = x.accumWait;
+  if (x.waitSince != kNoTime) wait += now_ - x.waitSince;
+  return wait;
+}
+
+Time Simulator::accumulatedRun(JobId id) const {
+  const JobExec& x = exec_[id];
+  Time done = job(id).runtime - x.remainingWork;
+  if (x.state == JobState::Running) {
+    // remainingWork is only decremented at suspension; subtract the current
+    // segment's progress explicitly.
+    const Time elapsed = now_ - x.segStart;
+    const Time segDone =
+        std::clamp<Time>(elapsed - x.segOverhead, 0, x.remainingWork);
+    done = job(id).runtime - x.remainingWork + segDone;
+  }
+  return done;
+}
+
+double Simulator::xfactor(JobId id) const {
+  const auto est = static_cast<double>(job(id).estimate);
+  SPS_CHECK(est > 0.0);
+  return (static_cast<double>(accumulatedWait(id)) + est) / est;
+}
+
+double Simulator::instantaneousXfactor(JobId id) const {
+  const auto run = static_cast<double>(accumulatedRun(id));
+  if (run <= 0.0) return std::numeric_limits<double>::infinity();
+  return (static_cast<double>(accumulatedWait(id)) + run) / run;
+}
+
+void Simulator::removeFrom(std::vector<JobId>& list, JobId id) {
+  auto it = std::find(list.begin(), list.end(), id);
+  SPS_CHECK_MSG(it != list.end(), "job " << id << " missing from state list");
+  list.erase(it);
+}
+
+void Simulator::auditState() const {
+  ProcSet busy;
+  std::uint32_t busyCount = 0;
+  std::size_t nQueued = 0, nRunning = 0, nSusp = 0;
+  for (JobId id = 0; id < exec_.size(); ++id) {
+    const JobExec& x = exec_[id];
+    switch (x.state) {
+      case JobState::Running:
+      case JobState::Suspending: {
+        SPS_CHECK_MSG(!busy.intersects(x.procs),
+                      "processor double-booked by job " << id);
+        SPS_CHECK_MSG(x.procs.count() == job(id).procs,
+                      "job " << id << " holds wrong processor count");
+        busy |= x.procs;
+        busyCount += x.procs.count();
+        if (x.state == JobState::Running) ++nRunning;
+        else ++nSusp;
+        break;
+      }
+      case JobState::Suspended:
+        SPS_CHECK_MSG(x.procs.count() == job(id).procs,
+                      "suspended job " << id << " lost its processor set");
+        ++nSusp;
+        break;
+      case JobState::Queued:
+        ++nQueued;
+        break;
+      case JobState::NotArrived:
+      case JobState::Finished:
+        break;
+    }
+  }
+  SPS_CHECK_MSG(!busy.intersects(machine_.freeSet()),
+                "free set overlaps busy processors");
+  SPS_CHECK_MSG(busyCount + machine_.freeCount() == machine_.totalProcs(),
+                "processor conservation violated: busy=" << busyCount
+                    << " free=" << machine_.freeCount() << " total="
+                    << machine_.totalProcs());
+  SPS_CHECK(nQueued == queued_.size());
+  SPS_CHECK(nRunning == running_.size());
+  SPS_CHECK(nSusp == suspended_.size());
+}
+
+}  // namespace sps::sim

@@ -1,0 +1,223 @@
+// Simulator — the discrete-event kernel for preemptive parallel job
+// scheduling ("a locally developed simulator", Section III of the paper).
+//
+// Mechanics owned here, policy decisions delegated to SchedulingPolicy:
+//   * event loop over arrivals, completions, suspend-drains, and timers;
+//   * named-processor allocation (local preemption: a suspended job resumes
+//     on its exact original processors);
+//   * per-job execution state: remaining work, accumulated wait (frozen
+//     while running — the xfactor rule of Section IV-A), suspension counts;
+//   * completion cancellation via generation counters;
+//   * optional suspension/restart overhead (Section V-A): suspending holds
+//     the processors for the write-out, resuming prepends the read-back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+#include "sim/policy.hpp"
+#include "sim/procset.hpp"
+#include "workload/job.hpp"
+
+namespace sps::sim {
+
+enum class JobState : std::uint8_t {
+  NotArrived,
+  Queued,      ///< waiting, never ran or mid-preemption bookkeeping done
+  Running,     ///< computing (or in its resume-overhead read-back phase)
+  Suspending,  ///< preempted, processors still held for the write-out
+  Suspended,   ///< preempted and drained; must resume on savedProcs
+  Finished,
+};
+
+[[nodiscard]] const char* jobStateName(JobState state);
+
+/// Dynamic execution state of one job. Readable by policies and by the
+/// metrics layer after the run.
+struct JobExec {
+  JobState state = JobState::NotArrived;
+  /// Processors currently held (Running/Suspending) or to reclaim
+  /// (Suspended). Empty before first start.
+  ProcSet procs;
+  /// Compute seconds still required.
+  Time remainingWork = 0;
+  /// Start of the current running segment (kNoTime unless Running).
+  Time segStart = kNoTime;
+  /// Resume-overhead at the front of the current segment.
+  Time segOverhead = 0;
+  /// Wait accumulated over all completed wait periods (queued + suspended).
+  Time accumWait = 0;
+  /// Start of the current wait period (kNoTime while running/finished).
+  Time waitSince = kNoTime;
+  /// Bumped on every suspension; a completion event with a stale generation
+  /// is ignored.
+  std::uint64_t completionGen = 0;
+  std::uint32_t suspendCount = 0;
+  Time firstStart = kNoTime;
+  Time finish = kNoTime;
+  /// Seconds spent writing the memory image out on suspensions (drains run
+  /// to completion, so this is always fully elapsed).
+  Time drainOverhead = 0;
+  /// Seconds of read-back actually elapsed (a segment can be preempted
+  /// before its read-back completes; only the elapsed part counts).
+  Time resumeOverheadElapsed = 0;
+  /// Total overhead seconds this job's processors spent not computing.
+  [[nodiscard]] Time overheadTotal() const {
+    return drainOverhead + resumeOverheadElapsed;
+  }
+};
+
+class Simulator {
+ public:
+  struct Config {
+    /// nullptr = suspension and resumption are free (Sections III-IV).
+    const OverheadPolicy* overhead = nullptr;
+  };
+
+  /// The trace must satisfy validateTrace(). The policy and trace must
+  /// outlive the simulator.
+  Simulator(const workload::Trace& trace, SchedulingPolicy& policy,
+            Config config);
+  Simulator(const workload::Trace& trace, SchedulingPolicy& policy)
+      : Simulator(trace, policy, Config{}) {}
+
+  /// Run to completion (event queue empty). Every job finishes — a policy
+  /// that strands jobs trips an invariant check at the end.
+  void run();
+
+  // --- clock & static data ---------------------------------------------
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const workload::Trace& trace() const { return trace_; }
+  [[nodiscard]] const workload::Job& job(JobId id) const {
+    return trace_.jobs[id];
+  }
+  [[nodiscard]] const JobExec& exec(JobId id) const { return exec_[id]; }
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+  [[nodiscard]] std::uint32_t freeCount() const { return machine_.freeCount(); }
+  [[nodiscard]] const ProcSet& freeSet() const { return machine_.freeSet(); }
+
+  // --- job sets (unordered; copy before calling any mutating action) ----
+  [[nodiscard]] const std::vector<JobId>& queuedJobs() const { return queued_; }
+  [[nodiscard]] const std::vector<JobId>& runningJobs() const {
+    return running_;
+  }
+  /// Suspending + Suspended jobs.
+  [[nodiscard]] const std::vector<JobId>& suspendedJobs() const {
+    return suspended_;
+  }
+
+  // --- policy actions ----------------------------------------------------
+  /// Start a queued job that has never been suspended, on the lowest-
+  /// numbered free processors. Requires job.procs <= freeCount().
+  void startJob(JobId id);
+
+  /// As startJob, but never allocates processors in `avoid` — used while
+  /// another job holds an exact-processor claim on part of the free set.
+  void startJobAvoiding(JobId id, const ProcSet& avoid);
+
+  /// As startJob, but draws processors outside `softAvoid` first and dips
+  /// into it only for the shortfall (minimal squatting on processors owed
+  /// to suspended jobs); processors in `hardAvoid` are never touched.
+  void startJobPreferring(JobId id, const ProcSet& softAvoid,
+                          const ProcSet& hardAvoid);
+
+  /// Restart a Suspended job on its exact original processors. Requires all
+  /// of them free.
+  void resumeJob(JobId id);
+
+  /// Restart a Suspended job on ANY free processors (drawn lowest-numbered
+  /// outside `avoid`) — the *migratable* preemption model of Parsons &
+  /// Sevcik discussed in the paper's related work. Only meaningful when the
+  /// policy models process migration; the paper's main model (and the SS
+  /// default) is local preemption via resumeJob.
+  void resumeJobMigrating(JobId id, const ProcSet& avoid);
+
+  /// Preempt a Running job. With an overhead model the processors drain
+  /// until the write-out completes (state Suspending), then onSuspendDrained
+  /// fires; otherwise they free immediately.
+  void suspendJob(JobId id);
+
+  /// Arm a one-shot policy timer. `when` must be >= now().
+  void scheduleTimer(Time when, std::uint64_t tag);
+
+  // --- derived per-job quantities ----------------------------------------
+  /// Wait accrued so far: frozen while running (Section IV-A).
+  [[nodiscard]] Time accumulatedWait(JobId id) const;
+  /// Compute completed so far (excludes overhead phases).
+  [[nodiscard]] Time accumulatedRun(JobId id) const;
+  /// Expansion factor, Eq. 2: (wait + estimate) / estimate, on the user
+  /// estimate. This is the SS suspension priority.
+  [[nodiscard]] double xfactor(JobId id) const;
+  /// Chiang-Vernon instantaneous xfactor: (wait + run) / run on accumulated
+  /// run time; +infinity for a job that has not computed yet.
+  [[nodiscard]] double instantaneousXfactor(JobId id) const;
+
+  // --- run statistics ------------------------------------------------------
+  [[nodiscard]] double busyProcSeconds() const {
+    return machine_.busyProcSeconds(now_);
+  }
+  /// Busy processor-seconds integrated over the arrival window only
+  /// ([firstSubmit, lastSubmit]) — the steady-state utilization basis.
+  /// A finite trace has a drain tail after the last arrival where no
+  /// scheduler can stay fully packed; comparing schedulers over the window
+  /// in which they face identical demand removes that end effect.
+  [[nodiscard]] double busyProcSecondsAtLastSubmit() const {
+    return busyAtLastSubmit_;
+  }
+  [[nodiscard]] Time lastSubmit() const { return lastSubmit_; }
+  /// Last completion time (valid after run()).
+  [[nodiscard]] Time lastFinish() const { return lastFinish_; }
+  [[nodiscard]] Time firstSubmit() const { return firstSubmit_; }
+  [[nodiscard]] std::uint64_t totalSuspensions() const {
+    return totalSuspensions_;
+  }
+  [[nodiscard]] std::uint64_t eventsProcessed() const {
+    return eventsProcessed_;
+  }
+
+  /// Full structural audit (free/busy partition vs job states). O(jobs).
+  /// Called from tests; cheap enough to call every event in debug builds.
+  void auditState() const;
+
+  /// Observer invoked after every job state transition — for timelines,
+  /// logging, and debugging. Must not call any mutating Simulator API.
+  using StateChangeHook =
+      std::function<void(const Simulator&, JobId, JobState /*from*/,
+                         JobState /*to*/)>;
+  void setStateChangeHook(StateChangeHook hook) {
+    stateChangeHook_ = std::move(hook);
+  }
+
+ private:
+  void handleArrival(JobId id);
+  void handleCompletion(JobId id, std::uint64_t generation);
+  void handleSuspendDrained(JobId id);
+  void beginSegment(JobId id);
+  void notifyStateChange(JobId id, JobState from, JobState to) const;
+  static void removeFrom(std::vector<JobId>& list, JobId id);
+
+  const workload::Trace& trace_;
+  SchedulingPolicy& policy_;
+  Config config_;
+  Machine machine_;
+  EventQueue events_;
+  std::vector<JobExec> exec_;
+  std::vector<JobId> queued_;
+  std::vector<JobId> running_;
+  std::vector<JobId> suspended_;
+  Time now_ = 0;
+  Time firstSubmit_ = 0;
+  Time lastSubmit_ = 0;
+  Time lastFinish_ = 0;
+  double busyAtLastSubmit_ = 0.0;
+  bool steadySnapshotTaken_ = false;
+  std::uint64_t totalSuspensions_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+  std::uint32_t unfinished_ = 0;
+  StateChangeHook stateChangeHook_;
+};
+
+}  // namespace sps::sim

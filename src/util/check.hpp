@@ -1,0 +1,62 @@
+// Invariant-checking macros used across the library.
+//
+// SPS_CHECK is always active (release and debug) — simulator invariants are
+// cheap relative to event processing and catching a broken schedule early is
+// worth far more than the branch. SPS_DCHECK compiles out in NDEBUG builds
+// and guards the O(n) structural audits.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sps {
+
+/// Thrown when a library invariant is violated. Indicates a bug in the
+/// library (or a policy driving it), never a user-input problem.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on malformed user input (bad trace file, invalid config values).
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SPS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sps
+
+#define SPS_CHECK(expr)                                                 \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]]                                           \
+      ::sps::detail::checkFailed(#expr, __FILE__, __LINE__, {});        \
+  } while (false)
+
+#define SPS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      std::ostringstream sps_check_os_;                                 \
+      sps_check_os_ << msg;                                             \
+      ::sps::detail::checkFailed(#expr, __FILE__, __LINE__,             \
+                                 sps_check_os_.str());                  \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define SPS_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define SPS_DCHECK(expr) SPS_CHECK(expr)
+#endif

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace sps {
+
+namespace {
+LogLevel g_level = LogLevel::Warning;
+}
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warning: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message) {
+  std::cerr << '[' << logLevelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace sps

@@ -1,0 +1,40 @@
+// Minimal leveled logger. The simulator is a library first: logging defaults
+// to Warning and goes to stderr, so benchmark/table output on stdout stays
+// machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sps {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warning = 3, Error = 4, Off = 5 };
+
+/// Global log threshold. Not thread-safe by design: the simulator is
+/// single-threaded per instance and the threshold is set once at startup.
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+[[nodiscard]] const char* logLevelName(LogLevel level);
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message);
+}
+
+}  // namespace sps
+
+#define SPS_LOG(level, msg)                                  \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::sps::logLevel())) {               \
+      std::ostringstream sps_log_os_;                        \
+      sps_log_os_ << msg;                                    \
+      ::sps::detail::emitLog(level, sps_log_os_.str());      \
+    }                                                        \
+  } while (false)
+
+#define SPS_LOG_TRACE(msg) SPS_LOG(::sps::LogLevel::Trace, msg)
+#define SPS_LOG_DEBUG(msg) SPS_LOG(::sps::LogLevel::Debug, msg)
+#define SPS_LOG_INFO(msg) SPS_LOG(::sps::LogLevel::Info, msg)
+#define SPS_LOG_WARN(msg) SPS_LOG(::sps::LogLevel::Warning, msg)
+#define SPS_LOG_ERROR(msg) SPS_LOG(::sps::LogLevel::Error, msg)

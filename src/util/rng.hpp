@@ -1,0 +1,96 @@
+// Deterministic random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we
+// ship our own xoshiro256** generator (public-domain algorithm by Blackman &
+// Vigna) seeded through SplitMix64 instead of relying on implementation-
+// defined std::default_random_engine behaviour. Distribution helpers avoid
+// std::uniform_*_distribution for the same reason: libstdc++ and libc++
+// produce different streams.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace sps {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive, unbiased (rejection sampling).
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Log-uniform double in [lo, hi): uniform in log-space. Requires 0 < lo < hi.
+  double logUniform(double lo, double hi);
+
+  /// Log-uniform integer in [lo, hi] inclusive. Requires 0 < lo <= hi.
+  std::int64_t logUniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Bounded Pareto (power law) on [lo, hi): density proportional to
+  /// x^-alpha. alpha == 1 degenerates to logUniform. Requires 0 < lo < hi,
+  /// alpha >= 1. Larger alpha biases harder toward lo.
+  double boundedPareto(double lo, double hi, double alpha);
+
+  /// Integer bounded Pareto in [lo, hi] inclusive.
+  std::int64_t boundedParetoInt(std::int64_t lo, std::int64_t hi,
+                                double alpha);
+
+  /// Exponential with the given mean (inverse rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Standard normal via Box–Muller (deterministic two-call form).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Pick an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative and sum to > 0.
+  std::size_t weightedIndex(const double* weights, std::size_t n);
+
+  /// Fork an independent stream (seeded from this stream's output). Used to
+  /// give each job-attribute sampler its own stream so adding a sampler does
+  /// not perturb the others.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sps

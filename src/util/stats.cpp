@@ -1,0 +1,100 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sps {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  SPS_CHECK_MSG(count_ > 0, "mean() of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::min() const {
+  SPS_CHECK_MSG(count_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  SPS_CHECK_MSG(count_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  SPS_CHECK_MSG(!values_.empty(), "mean() of empty samples");
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  SPS_CHECK_MSG(!values_.empty(), "min() of empty samples");
+  ensureSorted();
+  return values_.front();
+}
+
+double Samples::max() const {
+  SPS_CHECK_MSG(!values_.empty(), "max() of empty samples");
+  ensureSorted();
+  return values_.back();
+}
+
+double Samples::percentile(double p) const {
+  SPS_CHECK_MSG(!values_.empty(), "percentile() of empty samples");
+  SPS_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p=" << p);
+  ensureSorted();
+  if (values_.size() == 1) return values_.front();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace sps

@@ -1,0 +1,123 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sps {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SPS_CHECK_MSG(!header_.empty(), "table requires at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  SPS_CHECK_MSG(!rows_.empty(), "cell() before row()");
+  SPS_CHECK_MSG(rows_.back().size() < header_.size(),
+                "row has more cells than header columns");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(formatFixed(value, precision));
+}
+
+Table& Table::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+void Table::printAscii(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c])) << v;
+      if (c + 1 < header_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emitRow(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emitRow(r);
+}
+
+namespace {
+std::string csvEscape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char ch : v) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::printCsv(std::ostream& os) const {
+  auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << csvEscape(cells[c]);
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emitRow(header_);
+  for (const auto& r : rows_) emitRow(r);
+}
+
+std::string Table::toAscii() const {
+  std::ostringstream os;
+  printAscii(os);
+  return os.str();
+}
+
+std::string Table::toCsv() const {
+  std::ostringstream os;
+  printCsv(os);
+  return os.str();
+}
+
+std::string formatFixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string formatDuration(std::int64_t seconds) {
+  std::ostringstream os;
+  const bool neg = seconds < 0;
+  if (neg) {
+    os << '-';
+    seconds = -seconds;
+  }
+  const std::int64_t h = seconds / 3600;
+  const std::int64_t m = (seconds % 3600) / 60;
+  const std::int64_t s = seconds % 60;
+  if (h > 0) os << h << "h ";
+  if (h > 0 || m > 0)
+    os << std::setw(h > 0 ? 2 : 1) << std::setfill('0') << m << "m ";
+  os << std::setw((h > 0 || m > 0) ? 2 : 1) << std::setfill('0') << s << 's';
+  return os.str();
+}
+
+}  // namespace sps

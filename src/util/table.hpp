@@ -1,0 +1,53 @@
+// ASCII / CSV table rendering used by the bench harnesses to print the
+// paper's tables and figure series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sps {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with a fixed precision. Render as aligned ASCII (for terminals) or CSV
+/// (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<std::int64_t>(value));
+  }
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columnCount() const { return header_.size(); }
+
+  /// Render column-aligned ASCII with a header underline.
+  void printAscii(std::ostream& os) const;
+  /// Render RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void printCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::string toAscii() const;
+  [[nodiscard]] std::string toCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (no trailing-zero trimming).
+[[nodiscard]] std::string formatFixed(double value, int precision);
+
+/// Human-readable duration, e.g. "2h 03m 04s".
+[[nodiscard]] std::string formatDuration(std::int64_t seconds);
+
+}  // namespace sps

@@ -1,0 +1,29 @@
+// Fundamental scalar types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sps {
+
+/// Simulation time in whole seconds since the start of the trace.
+/// Supercomputer traces are second-granular; 64 bits holds ~292 Gyears.
+using Time = std::int64_t;
+
+/// Sentinel for "no time" / "not yet".
+inline constexpr Time kNoTime = std::numeric_limits<Time>::min();
+
+/// Largest representable time, used as "infinitely far in the future".
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/// Dense job identifier: index into the trace's job vector.
+using JobId = std::uint32_t;
+
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+/// Seconds in common units, for readable constants.
+inline constexpr Time kMinute = 60;
+inline constexpr Time kHour = 3600;
+inline constexpr Time kDay = 86400;
+
+}  // namespace sps

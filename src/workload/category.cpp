@@ -1,0 +1,88 @@
+#include "workload/category.hpp"
+
+#include "util/check.hpp"
+
+namespace sps::workload {
+
+RunClass runClassOf(Time runtime) {
+  if (runtime <= kVeryShortMax) return RunClass::VeryShort;
+  if (runtime <= kShortMax) return RunClass::Short;
+  if (runtime <= kLongMax) return RunClass::Long;
+  return RunClass::VeryLong;
+}
+
+WidthClass widthClassOf(std::uint32_t procs) {
+  if (procs <= kSequentialMax) return WidthClass::Sequential;
+  if (procs <= kNarrowMax) return WidthClass::Narrow;
+  if (procs <= kWideMax) return WidthClass::Wide;
+  return WidthClass::VeryWide;
+}
+
+std::size_t category16(RunClass r, WidthClass w) {
+  return static_cast<std::size_t>(r) * kNumWidthClasses +
+         static_cast<std::size_t>(w);
+}
+
+std::size_t category16(const Job& job) {
+  return category16(job.runtime, job.procs);
+}
+
+std::size_t category16(Time runtime, std::uint32_t procs) {
+  return category16(runClassOf(runtime), widthClassOf(procs));
+}
+
+namespace {
+const std::array<std::string, kNumRunClasses> kRunNames = {"VS", "S", "L",
+                                                           "VL"};
+const std::array<std::string, kNumWidthClasses> kWidthNames = {"Seq", "N", "W",
+                                                               "VW"};
+const std::array<std::string, kNumCategories16> kCategory16Names = [] {
+  std::array<std::string, kNumCategories16> names;
+  for (std::size_t r = 0; r < kNumRunClasses; ++r)
+    for (std::size_t w = 0; w < kNumWidthClasses; ++w)
+      names[r * kNumWidthClasses + w] = kRunNames[r] + " " + kWidthNames[w];
+  return names;
+}();
+const std::array<std::string, kNumCategories4> kCategory4Names = {"SN", "SW",
+                                                                  "LN", "LW"};
+}  // namespace
+
+const std::string& runClassName(RunClass r) {
+  return kRunNames[static_cast<std::size_t>(r)];
+}
+
+const std::string& widthClassName(WidthClass w) {
+  return kWidthNames[static_cast<std::size_t>(w)];
+}
+
+const std::string& category16Name(std::size_t index) {
+  SPS_CHECK(index < kNumCategories16);
+  return kCategory16Names[index];
+}
+
+RunClass runClassOfCategory(std::size_t index) {
+  SPS_CHECK(index < kNumCategories16);
+  return static_cast<RunClass>(index / kNumWidthClasses);
+}
+
+WidthClass widthClassOfCategory(std::size_t index) {
+  SPS_CHECK(index < kNumCategories16);
+  return static_cast<WidthClass>(index % kNumWidthClasses);
+}
+
+std::size_t category4(Time runtime, std::uint32_t procs) {
+  const std::size_t longJob = runtime > kShort4Max ? 1 : 0;
+  const std::size_t wideJob = procs > kNarrow4Max ? 1 : 0;
+  return longJob * 2 + wideJob;
+}
+
+std::size_t category4(const Job& job) {
+  return category4(job.runtime, job.procs);
+}
+
+const std::string& category4Name(std::size_t index) {
+  SPS_CHECK(index < kNumCategories4);
+  return kCategory4Names[index];
+}
+
+}  // namespace sps::workload

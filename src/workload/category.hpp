@@ -1,0 +1,77 @@
+// Job categorization (Tables I and VI of the paper).
+//
+// The evaluation never looks at a single overall average: every table and
+// figure is broken down by category. Two schemes are used:
+//
+//  * Category16 (Table I): run time in {Very Short <=10 min, Short <=1 h,
+//    Long <=8 h, Very Long >8 h} x width in {Sequential =1, Narrow 2-8,
+//    Wide 9-32, Very Wide >32}. Used for the main study (Sections III-V).
+//  * Category4 (Table VI): run time in {Short <=1 h, Long >1 h} x width in
+//    {Narrow <=8, Wide >8}. Used for the load-variation study (Section VI).
+//
+// Categorization uses the *actual* run time ("we classified jobs into 16
+// categories based on their actual run time and the number of processors
+// requested", Section III).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace sps::workload {
+
+// --- 16-way scheme (Table I) -----------------------------------------------
+
+enum class RunClass : std::uint8_t { VeryShort = 0, Short = 1, Long = 2, VeryLong = 3 };
+enum class WidthClass : std::uint8_t { Sequential = 0, Narrow = 1, Wide = 2, VeryWide = 3 };
+
+inline constexpr std::size_t kNumRunClasses = 4;
+inline constexpr std::size_t kNumWidthClasses = 4;
+inline constexpr std::size_t kNumCategories16 = 16;
+
+/// Boundaries (inclusive upper bounds) of the run-time partitions, seconds.
+inline constexpr Time kVeryShortMax = 10 * kMinute;
+inline constexpr Time kShortMax = 1 * kHour;
+inline constexpr Time kLongMax = 8 * kHour;
+
+/// Boundaries (inclusive upper bounds) of the width partitions, processors.
+inline constexpr std::uint32_t kSequentialMax = 1;
+inline constexpr std::uint32_t kNarrowMax = 8;
+inline constexpr std::uint32_t kWideMax = 32;
+
+[[nodiscard]] RunClass runClassOf(Time runtime);
+[[nodiscard]] WidthClass widthClassOf(std::uint32_t procs);
+
+/// Dense category index: runClass * 4 + widthClass, in [0, 16).
+[[nodiscard]] std::size_t category16(RunClass r, WidthClass w);
+[[nodiscard]] std::size_t category16(const Job& job);
+/// Category by a given runtime (used for the well/badly-estimated split,
+/// where the *actual* runtime classifies the job even when the scheduler saw
+/// a wildly different estimate).
+[[nodiscard]] std::size_t category16(Time runtime, std::uint32_t procs);
+
+[[nodiscard]] const std::string& runClassName(RunClass r);
+[[nodiscard]] const std::string& widthClassName(WidthClass w);
+/// e.g. "VS VW" for Very Short / Very Wide (paper's labels).
+[[nodiscard]] const std::string& category16Name(std::size_t index);
+
+[[nodiscard]] RunClass runClassOfCategory(std::size_t index);
+[[nodiscard]] WidthClass widthClassOfCategory(std::size_t index);
+
+// --- 4-way scheme (Table VI, load-variation study) --------------------------
+
+inline constexpr std::size_t kNumCategories4 = 4;
+/// Short/Long boundary for the 4-way scheme, seconds.
+inline constexpr Time kShort4Max = 1 * kHour;
+/// Narrow/Wide boundary for the 4-way scheme, processors.
+inline constexpr std::uint32_t kNarrow4Max = 8;
+
+/// Index: (runtime > 1h) * 2 + (procs > 8); order SN, SW, LN, LW.
+[[nodiscard]] std::size_t category4(const Job& job);
+[[nodiscard]] std::size_t category4(Time runtime, std::uint32_t procs);
+[[nodiscard]] const std::string& category4Name(std::size_t index);
+
+}  // namespace sps::workload

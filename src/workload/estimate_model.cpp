@@ -1,0 +1,52 @@
+#include "workload/estimate_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sps::workload {
+
+const char* estimateModelName(EstimateModelKind kind) {
+  switch (kind) {
+    case EstimateModelKind::Accurate: return "accurate";
+    case EstimateModelKind::UniformFactor: return "uniform-factor";
+    case EstimateModelKind::Modal: return "modal";
+  }
+  return "?";
+}
+
+void applyEstimates(Trace& trace, const EstimateModelConfig& config) {
+  SPS_CHECK_MSG(config.maxFactor >= 2.0, "maxFactor must be >= 2");
+  SPS_CHECK_MSG(config.pExact >= 0.0 && config.pWell >= 0.0 &&
+                    config.pExact + config.pWell <= 1.0,
+                "invalid Modal mixture probabilities");
+  Rng rng(config.seed);
+  for (Job& j : trace.jobs) {
+    double factor = 1.0;
+    switch (config.kind) {
+      case EstimateModelKind::Accurate:
+        factor = 1.0;
+        break;
+      case EstimateModelKind::UniformFactor:
+        factor = rng.logUniform(1.0, config.maxFactor);
+        break;
+      case EstimateModelKind::Modal: {
+        const double u = rng.uniform01();
+        if (u < config.pExact) {
+          factor = 1.0;
+        } else if (u < config.pExact + config.pWell) {
+          factor = rng.uniform(1.0, 2.0);
+        } else {
+          factor = rng.logUniform(2.0, config.maxFactor);
+        }
+        break;
+      }
+    }
+    const double est = std::ceil(static_cast<double>(j.runtime) * factor);
+    j.estimate = std::max<Time>(j.runtime, static_cast<Time>(est));
+  }
+}
+
+}  // namespace sps::workload

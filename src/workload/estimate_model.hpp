@@ -1,0 +1,46 @@
+// User run-time estimate models (Section V of the paper).
+//
+// The study first assumes perfect estimates (Section IV), then inaccurate
+// ones (Section V), splitting jobs into "well estimated" (estimate <= 2x
+// actual) and "badly estimated" (> 2x, which includes jobs that abort
+// almost immediately against a long wall-clock request). These models stamp
+// Job::estimate accordingly; the actual runtime is never modified.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/job.hpp"
+
+namespace sps::workload {
+
+enum class EstimateModelKind {
+  /// estimate = runtime (the Section IV idealization).
+  Accurate,
+  /// estimate = runtime * factor, factor ~ logUniform(1, maxFactor].
+  UniformFactor,
+  /// Mixture calibrated to the Section V dichotomy: a fraction exact, a
+  /// fraction mildly over (uniform factor in (1, 2] — "well estimated"),
+  /// and the rest badly over (log-uniform factor in (2, maxFactor] —
+  /// includes the abort-like jobs whose tiny runtime meets a huge request).
+  Modal,
+};
+
+struct EstimateModelConfig {
+  EstimateModelKind kind = EstimateModelKind::Accurate;
+  std::uint64_t seed = 1;
+  /// Modal: probability of an exact estimate.
+  double pExact = 0.15;
+  /// Modal: probability of a mild overestimate (factor in (1, 2]).
+  double pWell = 0.40;
+  /// Largest overestimation factor (UniformFactor and Modal tails).
+  double maxFactor = 50.0;
+};
+
+/// Human-readable model name for reports.
+[[nodiscard]] const char* estimateModelName(EstimateModelKind kind);
+
+/// Re-stamp every job's estimate in place. Deterministic in (config.seed,
+/// job order). Guarantees estimate >= runtime afterwards.
+void applyEstimates(Trace& trace, const EstimateModelConfig& config);
+
+}  // namespace sps::workload

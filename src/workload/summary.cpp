@@ -1,0 +1,74 @@
+#include "workload/summary.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sps::workload {
+
+TraceSummary summarizeTrace(const Trace& trace) {
+  TraceSummary s;
+  s.jobCount = trace.jobs.size();
+  if (trace.jobs.empty()) return s;
+
+  s.runtimes.reserve(s.jobCount);
+  s.widths.reserve(s.jobCount);
+  s.estimateFactors.reserve(s.jobCount);
+  s.interarrivals.reserve(s.jobCount);
+
+  Time prevSubmit = trace.jobs.front().submit;
+  for (const Job& j : trace.jobs) {
+    const double jobWork =
+        static_cast<double>(j.runtime) * static_cast<double>(j.procs);
+    s.totalWork += jobWork;
+    s.runtimes.add(static_cast<double>(j.runtime));
+    s.widths.add(static_cast<double>(j.procs));
+    s.estimateFactors.add(static_cast<double>(j.estimate) /
+                          static_cast<double>(j.runtime));
+    s.interarrivals.add(static_cast<double>(j.submit - prevSubmit));
+    prevSubmit = j.submit;
+    const std::size_t cat = category16(j);
+    s.jobShare[cat] += 1.0;
+    s.workShare[cat] += jobWork;
+  }
+  for (double& v : s.jobShare)
+    v = 100.0 * v / static_cast<double>(s.jobCount);
+  for (double& v : s.workShare) v = 100.0 * v / s.totalWork;
+  s.span = trace.jobs.back().submit - trace.jobs.front().submit;
+  s.offeredLoad = offeredLoad(trace);
+  return s;
+}
+
+Table summaryStatsTable(const TraceSummary& s) {
+  Table t({"statistic", "min", "median", "p90", "max", "mean"});
+  auto row = [&t](const char* label, const Samples& samples, int precision) {
+    t.row().cell(label);
+    if (samples.empty()) {
+      for (int i = 0; i < 5; ++i) t.cell("-");
+      return;
+    }
+    t.cell(samples.min(), precision)
+        .cell(samples.median(), precision)
+        .cell(samples.percentile(90), precision)
+        .cell(samples.max(), precision)
+        .cell(samples.mean(), precision);
+  };
+  row("runtime (s)", s.runtimes, 0);
+  row("width (procs)", s.widths, 0);
+  row("estimate / runtime", s.estimateFactors, 2);
+  row("interarrival (s)", s.interarrivals, 0);
+  return t;
+}
+
+Table workShareGrid(const TraceSummary& s) {
+  Table t({"runtime \\ width (work %)", "Seq", "N", "W", "VW"});
+  static constexpr const char* kRows[] = {"VS", "S", "L", "VL"};
+  for (std::size_t r = 0; r < kNumRunClasses; ++r) {
+    t.row().cell(kRows[r]);
+    for (std::size_t w = 0; w < kNumWidthClasses; ++w)
+      t.cell(formatFixed(s.workShare[r * kNumWidthClasses + w], 1) + "%");
+  }
+  return t;
+}
+
+}  // namespace sps::workload

@@ -1,0 +1,44 @@
+// Trace summarization — the workload-characterization numbers of Section
+// III beyond the category mix: distributional statistics of runtimes,
+// widths, estimates and interarrival gaps, plus each category's share of
+// total *work* (which drives congestion far more than its share of jobs).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/category.hpp"
+#include "workload/job.hpp"
+
+namespace sps::workload {
+
+struct TraceSummary {
+  std::size_t jobCount = 0;
+  double totalWork = 0.0;    ///< processor-seconds
+  double offeredLoad = 0.0;
+  Time span = 0;             ///< first submit to last submit
+
+  Samples runtimes;
+  Samples widths;
+  Samples estimateFactors;   ///< estimate / runtime
+  Samples interarrivals;
+
+  /// Percentage of jobs per 16-way category (Tables II/III).
+  std::array<double, kNumCategories16> jobShare{};
+  /// Percentage of total work per 16-way category.
+  std::array<double, kNumCategories16> workShare{};
+};
+
+/// Compute the summary in one pass. The trace must be validated.
+[[nodiscard]] TraceSummary summarizeTrace(const Trace& trace);
+
+/// Distributional statistics as a table (min/median/p90/max rows).
+[[nodiscard]] Table summaryStatsTable(const TraceSummary& summary);
+
+/// Work-share grid in the Tables II/III layout — shows where the machine
+/// time actually goes (the VW columns dominate despite small job counts).
+[[nodiscard]] Table workShareGrid(const TraceSummary& summary);
+
+}  // namespace sps::workload

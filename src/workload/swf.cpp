@@ -1,0 +1,126 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "workload/transforms.hpp"
+
+namespace sps::workload {
+
+namespace {
+/// One SWF record's raw fields (only the ones we consume).
+struct SwfFields {
+  double submit = 0;
+  double runtime = 0;
+  double procsAlloc = -1;
+  double memPerProcKb = -1;
+  double procsReq = -1;
+  double timeReq = -1;
+};
+
+bool parseLine(const std::string& line, SwfFields& out, std::size_t lineNo) {
+  std::istringstream is(line);
+  std::vector<double> fields;
+  double v;
+  while (is >> v) fields.push_back(v);
+  if (fields.empty()) return false;  // blank line
+  if (fields.size() < 5)
+    throw InputError("SWF line " + std::to_string(lineNo) +
+                     ": expected >= 5 fields, got " +
+                     std::to_string(fields.size()));
+  auto get = [&](std::size_t idx) {  // 1-based SWF field index
+    return idx <= fields.size() ? fields[idx - 1] : -1.0;
+  };
+  out.submit = get(2);
+  out.runtime = get(4);
+  out.procsAlloc = get(5);
+  out.memPerProcKb = get(7);
+  out.procsReq = get(8);
+  out.timeReq = get(9);
+  return true;
+}
+}  // namespace
+
+Trace readSwf(std::istream& in, const std::string& traceName,
+              std::uint32_t machineProcs, SwfReadStats* stats) {
+  SwfReadStats local;
+  Trace trace;
+  trace.name = traceName;
+  trace.machineProcs = machineProcs;
+
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == ';') continue;
+    SwfFields f;
+    if (!parseLine(line, f, lineNo)) continue;
+    ++local.linesRead;
+
+    const Time runtime = static_cast<Time>(std::llround(f.runtime));
+    if (runtime <= 0) {
+      ++local.droppedNonPositiveRuntime;
+      continue;
+    }
+    double procsRaw = f.procsAlloc > 0 ? f.procsAlloc : f.procsReq;
+    if (procsRaw <= 0) {
+      ++local.droppedNonPositiveProcs;
+      continue;
+    }
+    const auto procs = static_cast<std::uint32_t>(std::llround(procsRaw));
+    if (procs > machineProcs) {
+      ++local.droppedTooWide;
+      continue;
+    }
+
+    Job j;
+    j.submit = static_cast<Time>(std::llround(std::max(f.submit, 0.0)));
+    j.runtime = runtime;
+    j.procs = procs;
+    Time estimate = f.timeReq > 0
+                        ? static_cast<Time>(std::llround(f.timeReq))
+                        : runtime;
+    if (estimate < runtime) {
+      estimate = runtime;
+      ++local.estimatesClamped;
+    }
+    j.estimate = estimate;
+    if (f.memPerProcKb > 0)
+      j.memoryMb = static_cast<std::uint32_t>(
+          std::ceil(f.memPerProcKb / 1024.0));
+    trace.jobs.push_back(j);
+    ++local.jobsAccepted;
+  }
+
+  normalizeTrace(trace);
+  if (stats != nullptr) *stats = local;
+  return trace;
+}
+
+Trace readSwfFile(const std::string& path, const std::string& traceName,
+                  std::uint32_t machineProcs, SwfReadStats* stats) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open SWF file: " + path);
+  return readSwf(in, traceName, machineProcs, stats);
+}
+
+void writeSwf(std::ostream& out, const Trace& trace) {
+  out << "; trace: " << trace.name << "\n";
+  out << "; MaxProcs: " << trace.machineProcs << "\n";
+  for (const Job& j : trace.jobs) {
+    // job submit wait run procs cpu mem procsReq timeReq memReq status uid
+    // gid exe queue partition preceding think
+    out << (j.id + 1) << ' ' << j.submit << ' ' << -1 << ' ' << j.runtime
+        << ' ' << j.procs << ' ' << -1 << ' '
+        << (j.memoryMb > 0 ? static_cast<long long>(j.memoryMb) * 1024 : -1)
+        << ' ' << j.procs << ' ' << j.estimate
+        << " -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+}  // namespace sps::workload

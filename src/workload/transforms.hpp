@@ -1,0 +1,28 @@
+// Trace transforms: normalization, load scaling (Section VI), filtering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "workload/job.hpp"
+
+namespace sps::workload {
+
+/// Sort by submit time (stable), shift so the first submission is at t=0,
+/// and re-number ids densely. Idempotent.
+void normalizeTrace(Trace& trace);
+
+/// The paper's load-variation transform (Section VI): divide every arrival
+/// time by `factor`, keeping run times unchanged. factor > 1 compresses
+/// arrivals and raises offered load proportionally. Returns a new trace
+/// named "<name> xF".
+[[nodiscard]] Trace scaleLoad(const Trace& trace, double factor);
+
+/// Keep only the first `n` jobs (by submission order).
+[[nodiscard]] Trace truncateTrace(const Trace& trace, std::size_t n);
+
+/// Keep jobs satisfying the predicate; re-normalizes.
+[[nodiscard]] Trace filterTrace(const Trace& trace,
+                                const std::function<bool(const Job&)>& keep);
+
+}  // namespace sps::workload

@@ -1,0 +1,154 @@
+// Unit tests: sched::AvailabilityProfile (the backfilling substrate).
+#include <gtest/gtest.h>
+
+#include "sched/availability_profile.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sps::sched {
+namespace {
+
+TEST(Profile, AllFreeInitially) {
+  AvailabilityProfile p(100, 64);
+  EXPECT_EQ(p.freeAt(100), 64u);
+  EXPECT_EQ(p.freeAt(1000000), 64u);
+  EXPECT_EQ(p.origin(), 100);
+  EXPECT_EQ(p.totalProcs(), 64u);
+}
+
+TEST(Profile, QueryBeforeOriginThrows) {
+  AvailabilityProfile p(100, 64);
+  EXPECT_THROW((void)p.freeAt(99), InvariantError);
+}
+
+TEST(Profile, AddBusySubtractsOverInterval) {
+  AvailabilityProfile p(0, 10);
+  p.addBusy(10, 20, 4);
+  EXPECT_EQ(p.freeAt(0), 10u);
+  EXPECT_EQ(p.freeAt(9), 10u);
+  EXPECT_EQ(p.freeAt(10), 6u);
+  EXPECT_EQ(p.freeAt(19), 6u);
+  EXPECT_EQ(p.freeAt(20), 10u);
+}
+
+TEST(Profile, OverlappingIntervalsStack) {
+  AvailabilityProfile p(0, 10);
+  p.addBusy(0, 100, 3);
+  p.addBusy(50, 150, 3);
+  EXPECT_EQ(p.freeAt(0), 7u);
+  EXPECT_EQ(p.freeAt(50), 4u);
+  EXPECT_EQ(p.freeAt(99), 4u);
+  EXPECT_EQ(p.freeAt(100), 7u);
+  EXPECT_EQ(p.freeAt(149), 7u);
+  EXPECT_EQ(p.freeAt(150), 10u);
+}
+
+TEST(Profile, AddBusyClampsToOrigin) {
+  AvailabilityProfile p(100, 10);
+  p.addBusy(0, 200, 5);  // starts before the origin
+  EXPECT_EQ(p.freeAt(100), 5u);
+  EXPECT_EQ(p.freeAt(200), 10u);
+}
+
+TEST(Profile, EmptyIntervalIsNoop) {
+  AvailabilityProfile p(0, 10);
+  p.addBusy(50, 50, 5);
+  p.addBusy(60, 40, 5);
+  p.addBusy(10, 20, 0);
+  EXPECT_EQ(p.freeAt(50), 10u);
+  EXPECT_EQ(p.stepCount(), 1u);
+}
+
+TEST(Profile, OversubscriptionThrows) {
+  AvailabilityProfile p(0, 10);
+  p.addBusy(0, 100, 8);
+  EXPECT_THROW(p.addBusy(50, 60, 3), InvariantError);
+}
+
+TEST(Profile, MinFreeInWindow) {
+  AvailabilityProfile p(0, 10);
+  p.addBusy(10, 20, 4);
+  p.addBusy(15, 30, 2);
+  EXPECT_EQ(p.minFreeIn(0, 10), 10u);
+  EXPECT_EQ(p.minFreeIn(0, 11), 6u);
+  EXPECT_EQ(p.minFreeIn(12, 18), 4u);
+  EXPECT_EQ(p.minFreeIn(20, 40), 8u);
+  EXPECT_EQ(p.minFreeIn(30, 40), 10u);
+}
+
+TEST(Profile, FindAnchorImmediateWhenFree) {
+  AvailabilityProfile p(0, 10);
+  EXPECT_EQ(p.findAnchor(0, 100, 10), 0);
+  EXPECT_EQ(p.findAnchor(42, 100, 10), 42);
+}
+
+TEST(Profile, FindAnchorWaitsForRelease) {
+  AvailabilityProfile p(0, 10);
+  p.addBusy(0, 50, 8);  // only 2 free until t=50
+  EXPECT_EQ(p.findAnchor(0, 10, 2), 0);
+  EXPECT_EQ(p.findAnchor(0, 10, 3), 50);
+}
+
+TEST(Profile, FindAnchorSkipsTooShortHoles) {
+  AvailabilityProfile p(0, 10);
+  // Free window [20, 30) of 6 procs; then busy again until 100.
+  p.addBusy(0, 20, 8);
+  p.addBusy(30, 100, 8);
+  // A 6-proc job of duration 10 fits in the hole:
+  EXPECT_EQ(p.findAnchor(0, 10, 6), 20);
+  // Duration 11 does not; must wait to t=100:
+  EXPECT_EQ(p.findAnchor(0, 11, 6), 100);
+}
+
+TEST(Profile, FindAnchorRespectsNotBefore) {
+  AvailabilityProfile p(0, 10);
+  p.addBusy(0, 20, 8);
+  p.addBusy(30, 100, 8);
+  EXPECT_EQ(p.findAnchor(25, 5, 6), 25);
+  EXPECT_EQ(p.findAnchor(31, 5, 6), 100);
+}
+
+TEST(Profile, FindAnchorWiderThanMachineThrows) {
+  AvailabilityProfile p(0, 10);
+  EXPECT_THROW((void)p.findAnchor(0, 10, 11), InvariantError);
+}
+
+TEST(Profile, FindAnchorZeroDurationThrows) {
+  AvailabilityProfile p(0, 10);
+  EXPECT_THROW((void)p.findAnchor(0, 0, 1), InvariantError);
+}
+
+// Property: findAnchor returns the *earliest* feasible anchor. Verify by
+// brute force against a randomly built profile.
+class ProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProfileProperty, AnchorIsEarliestFeasible) {
+  Rng rng(GetParam());
+  AvailabilityProfile p(0, 32);
+  // Random busy intervals, rejecting oversubscription.
+  for (int i = 0; i < 12; ++i) {
+    const Time s = rng.uniformInt(0, 200);
+    const Time e = s + rng.uniformInt(1, 80);
+    const auto procs = static_cast<std::uint32_t>(rng.uniformInt(1, 8));
+    if (p.minFreeIn(s, e) >= procs) p.addBusy(s, e, procs);
+  }
+  for (int q = 0; q < 20; ++q) {
+    const auto procs = static_cast<std::uint32_t>(rng.uniformInt(1, 32));
+    const Time dur = rng.uniformInt(1, 60);
+    const Time notBefore = rng.uniformInt(0, 150);
+    const Time anchor = p.findAnchor(notBefore, dur, procs);
+    ASSERT_GE(anchor, notBefore);
+    // Feasible at the anchor:
+    EXPECT_GE(p.minFreeIn(anchor, anchor + dur), procs);
+    // Not feasible at any earlier second (brute force over the window):
+    for (Time t = notBefore; t < anchor; ++t)
+      EXPECT_LT(p.minFreeIn(t, t + dur), procs)
+          << "anchor " << anchor << " not minimal at t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sps::sched

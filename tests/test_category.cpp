@@ -1,0 +1,110 @@
+// Unit tests: workload categorization (Tables I and VI).
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "workload/category.hpp"
+
+namespace sps::workload {
+namespace {
+
+TEST(Category16, RunClassBoundaries) {
+  EXPECT_EQ(runClassOf(1), RunClass::VeryShort);
+  EXPECT_EQ(runClassOf(600), RunClass::VeryShort);   // inclusive
+  EXPECT_EQ(runClassOf(601), RunClass::Short);
+  EXPECT_EQ(runClassOf(3600), RunClass::Short);
+  EXPECT_EQ(runClassOf(3601), RunClass::Long);
+  EXPECT_EQ(runClassOf(28800), RunClass::Long);
+  EXPECT_EQ(runClassOf(28801), RunClass::VeryLong);
+  EXPECT_EQ(runClassOf(1000000), RunClass::VeryLong);
+}
+
+TEST(Category16, WidthClassBoundaries) {
+  EXPECT_EQ(widthClassOf(1), WidthClass::Sequential);
+  EXPECT_EQ(widthClassOf(2), WidthClass::Narrow);
+  EXPECT_EQ(widthClassOf(8), WidthClass::Narrow);
+  EXPECT_EQ(widthClassOf(9), WidthClass::Wide);
+  EXPECT_EQ(widthClassOf(32), WidthClass::Wide);
+  EXPECT_EQ(widthClassOf(33), WidthClass::VeryWide);
+  EXPECT_EQ(widthClassOf(430), WidthClass::VeryWide);
+}
+
+TEST(Category16, IndexLayoutIsRowMajor) {
+  EXPECT_EQ(category16(RunClass::VeryShort, WidthClass::Sequential), 0u);
+  EXPECT_EQ(category16(RunClass::VeryShort, WidthClass::VeryWide), 3u);
+  EXPECT_EQ(category16(RunClass::Short, WidthClass::Sequential), 4u);
+  EXPECT_EQ(category16(RunClass::VeryLong, WidthClass::VeryWide), 15u);
+}
+
+TEST(Category16, JobOverloadUsesActualRuntime) {
+  Job j;
+  j.runtime = 300;     // VS
+  j.estimate = 90000;  // would be VL by estimate
+  j.procs = 16;        // W
+  EXPECT_EQ(category16(j), category16(RunClass::VeryShort, WidthClass::Wide));
+}
+
+TEST(Category16, Names) {
+  EXPECT_EQ(category16Name(0), "VS Seq");
+  EXPECT_EQ(category16Name(3), "VS VW");
+  EXPECT_EQ(category16Name(15), "VL VW");
+  EXPECT_EQ(runClassName(RunClass::Long), "L");
+  EXPECT_EQ(widthClassName(WidthClass::Narrow), "N");
+  EXPECT_THROW((void)category16Name(16), InvariantError);
+}
+
+TEST(Category16, RoundTripDecomposition) {
+  for (std::size_t c = 0; c < kNumCategories16; ++c) {
+    EXPECT_EQ(category16(runClassOfCategory(c), widthClassOfCategory(c)), c);
+  }
+}
+
+TEST(Category4, Boundaries) {
+  // Order: SN, SW, LN, LW (Table VI: <=1h / >1h x <=8 / >8 procs).
+  EXPECT_EQ(category4(3600, 8), 0u);
+  EXPECT_EQ(category4(3600, 9), 1u);
+  EXPECT_EQ(category4(3601, 8), 2u);
+  EXPECT_EQ(category4(3601, 9), 3u);
+}
+
+TEST(Category4, Names) {
+  EXPECT_EQ(category4Name(0), "SN");
+  EXPECT_EQ(category4Name(1), "SW");
+  EXPECT_EQ(category4Name(2), "LN");
+  EXPECT_EQ(category4Name(3), "LW");
+  EXPECT_THROW((void)category4Name(4), InvariantError);
+}
+
+// Property sweep: the 16-way and 4-way schemes must agree on the coarse
+// boundaries they share (1 h runtime, 8 proc width).
+struct CatCase {
+  Time runtime;
+  std::uint32_t procs;
+};
+
+class CategoryConsistency : public ::testing::TestWithParam<CatCase> {};
+
+TEST_P(CategoryConsistency, CoarseBoundariesAgree) {
+  const auto [runtime, procs] = GetParam();
+  const std::size_t c16 = category16(runtime, procs);
+  const std::size_t c4 = category4(runtime, procs);
+  const auto r16 = runClassOfCategory(c16);
+  const auto w16 = widthClassOfCategory(c16);
+  const bool long4 = c4 >= 2;
+  const bool wide4 = (c4 % 2) == 1;
+  // 16-way classes VS/S are the 4-way Short; L/VL are Long.
+  EXPECT_EQ(long4, r16 == RunClass::Long || r16 == RunClass::VeryLong);
+  // 16-way Seq/N are the 4-way Narrow; W/VW are Wide.
+  EXPECT_EQ(wide4,
+            w16 == WidthClass::Wide || w16 == WidthClass::VeryWide);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, CategoryConsistency,
+    ::testing::Values(CatCase{1, 1}, CatCase{600, 8}, CatCase{601, 9},
+                      CatCase{3600, 8}, CatCase{3601, 8}, CatCase{3600, 9},
+                      CatCase{3601, 9}, CatCase{28800, 32},
+                      CatCase{28801, 33}, CatCase{86400, 430},
+                      CatCase{100, 33}, CatCase{40000, 2}));
+
+}  // namespace
+}  // namespace sps::workload

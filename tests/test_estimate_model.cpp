@@ -1,0 +1,109 @@
+// Unit tests: user-estimate error models (Section V).
+#include <gtest/gtest.h>
+
+#include "metrics/job_record.hpp"
+#include "util/check.hpp"
+#include "workload/estimate_model.hpp"
+#include "workload/synthetic.hpp"
+
+namespace sps::workload {
+namespace {
+
+Trace sampleTrace(std::size_t n = 2000) {
+  return generateTrace(ctcConfig(n, 31));
+}
+
+TEST(EstimateModel, AccurateSetsEstimateToRuntime) {
+  Trace t = sampleTrace(500);
+  EstimateModelConfig cfg;
+  cfg.kind = EstimateModelKind::Accurate;
+  applyEstimates(t, cfg);
+  for (const Job& j : t.jobs) EXPECT_EQ(j.estimate, j.runtime);
+}
+
+TEST(EstimateModel, EstimateNeverBelowRuntime) {
+  for (auto kind : {EstimateModelKind::Accurate,
+                    EstimateModelKind::UniformFactor,
+                    EstimateModelKind::Modal}) {
+    Trace t = sampleTrace(500);
+    EstimateModelConfig cfg;
+    cfg.kind = kind;
+    applyEstimates(t, cfg);
+    for (const Job& j : t.jobs) EXPECT_GE(j.estimate, j.runtime);
+    EXPECT_NO_THROW(validateTrace(t));
+  }
+}
+
+TEST(EstimateModel, UniformFactorWithinMax) {
+  Trace t = sampleTrace(2000);
+  EstimateModelConfig cfg;
+  cfg.kind = EstimateModelKind::UniformFactor;
+  cfg.maxFactor = 10.0;
+  applyEstimates(t, cfg);
+  for (const Job& j : t.jobs) {
+    const double factor = static_cast<double>(j.estimate) /
+                          static_cast<double>(j.runtime);
+    EXPECT_LE(factor, 10.0 + 1.0);  // +1 slack for the ceil()
+  }
+}
+
+TEST(EstimateModel, ModalMixtureFractions) {
+  Trace t = sampleTrace(20000);
+  EstimateModelConfig cfg;
+  cfg.kind = EstimateModelKind::Modal;
+  cfg.pExact = 0.2;
+  cfg.pWell = 0.4;
+  applyEstimates(t, cfg);
+  std::size_t well = 0;
+  for (const Job& j : t.jobs)
+    if (j.estimate <= 2 * j.runtime) ++well;
+  // Exact + mild-overestimate jobs are all "well estimated": ~60%.
+  EXPECT_NEAR(static_cast<double>(well) / static_cast<double>(t.jobs.size()),
+              0.6, 0.03);
+}
+
+TEST(EstimateModel, DeterministicInSeed) {
+  Trace a = sampleTrace(500), b = sampleTrace(500);
+  EstimateModelConfig cfg;
+  cfg.kind = EstimateModelKind::Modal;
+  cfg.seed = 77;
+  applyEstimates(a, cfg);
+  applyEstimates(b, cfg);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    EXPECT_EQ(a.jobs[i].estimate, b.jobs[i].estimate);
+}
+
+TEST(EstimateModel, SeedChangesEstimates) {
+  Trace a = sampleTrace(500), b = sampleTrace(500);
+  EstimateModelConfig cfg;
+  cfg.kind = EstimateModelKind::Modal;
+  cfg.seed = 1;
+  applyEstimates(a, cfg);
+  cfg.seed = 2;
+  applyEstimates(b, cfg);
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    anyDiff |= a.jobs[i].estimate != b.jobs[i].estimate;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(EstimateModel, RejectsBadConfig) {
+  Trace t = sampleTrace(10);
+  EstimateModelConfig cfg;
+  cfg.maxFactor = 1.0;
+  EXPECT_THROW(applyEstimates(t, cfg), InvariantError);
+  cfg = {};
+  cfg.pExact = 0.8;
+  cfg.pWell = 0.5;  // sums over 1
+  EXPECT_THROW(applyEstimates(t, cfg), InvariantError);
+}
+
+TEST(EstimateModel, Names) {
+  EXPECT_STREQ(estimateModelName(EstimateModelKind::Accurate), "accurate");
+  EXPECT_STREQ(estimateModelName(EstimateModelKind::Modal), "modal");
+  EXPECT_STREQ(estimateModelName(EstimateModelKind::UniformFactor),
+               "uniform-factor");
+}
+
+}  // namespace
+}  // namespace sps::workload

@@ -1,0 +1,89 @@
+// Unit tests: sim::EventQueue ordering semantics.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sps::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), InvariantError);
+  EXPECT_THROW((void)q.nextTime(), InvariantError);
+}
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(30, EventType::Timer, 3);
+  q.push(10, EventType::Timer, 1);
+  q.push(20, EventType::Timer, 2);
+  EXPECT_EQ(q.nextTime(), 10);
+  EXPECT_EQ(q.pop().payload, 1u);
+  EXPECT_EQ(q.pop().payload, 2u);
+  EXPECT_EQ(q.pop().payload, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 50; ++i) q.push(42, EventType::Timer, i);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Event e = q.pop();
+    EXPECT_EQ(e.time, 42);
+    EXPECT_EQ(e.payload, i);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  q.push(5, EventType::JobArrival, 0);
+  q.push(1, EventType::JobArrival, 1);
+  EXPECT_EQ(q.pop().payload, 1u);
+  q.push(2, EventType::JobCompletion, 2);
+  q.push(4, EventType::SuspendDrained, 3);
+  EXPECT_EQ(q.pop().payload, 2u);
+  EXPECT_EQ(q.pop().payload, 3u);
+  EXPECT_EQ(q.pop().payload, 0u);
+}
+
+TEST(EventQueue, CarriesTypeAndGeneration) {
+  EventQueue q;
+  q.push(7, EventType::JobCompletion, 99, 5);
+  const Event e = q.pop();
+  EXPECT_EQ(e.type, EventType::JobCompletion);
+  EXPECT_EQ(e.payload, 99u);
+  EXPECT_EQ(e.generation, 5u);
+  EXPECT_EQ(e.time, 7);
+}
+
+TEST(EventQueue, RandomizedOrderIsNonDecreasing) {
+  EventQueue q;
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i)
+    q.push(rng.uniformInt(0, 500), EventType::Timer,
+           static_cast<std::uint64_t>(i));
+  Time prev = -1;
+  std::uint64_t prevSeq = 0;
+  bool first = true;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, prev);
+    if (!first && e.time == prev) {
+      EXPECT_GT(e.seq, prevSeq);
+    }
+    prev = e.time;
+    prevSeq = e.seq;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace sps::sim

@@ -1,0 +1,131 @@
+// Unit tests: sim::Machine (allocation, release, busy-time integral).
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "util/check.hpp"
+
+namespace sps::sim {
+namespace {
+
+TEST(Machine, StartsAllFree) {
+  Machine m(128);
+  EXPECT_EQ(m.totalProcs(), 128u);
+  EXPECT_EQ(m.freeCount(), 128u);
+  EXPECT_EQ(m.busyCount(), 0u);
+}
+
+TEST(Machine, RejectsZeroOrOversizedMachine) {
+  EXPECT_THROW(Machine(0), InvariantError);
+  EXPECT_THROW(Machine(ProcSet::kMaxProcs + 1), InvariantError);
+}
+
+TEST(Machine, AllocateTakesLowestFree) {
+  Machine m(16);
+  const ProcSet a = m.allocate(4, 0);
+  EXPECT_EQ(a, ProcSet::firstN(4));
+  EXPECT_EQ(m.freeCount(), 12u);
+  const ProcSet b = m.allocate(2, 0);
+  EXPECT_TRUE(b.contains(4));
+  EXPECT_TRUE(b.contains(5));
+}
+
+TEST(Machine, ReleaseMakesProcsReusable) {
+  Machine m(8);
+  const ProcSet a = m.allocate(8, 0);
+  EXPECT_EQ(m.freeCount(), 0u);
+  m.release(a, 10);
+  EXPECT_EQ(m.freeCount(), 8u);
+  EXPECT_EQ(m.allocate(8, 10), a);
+}
+
+TEST(Machine, AllocateMoreThanFreeThrows) {
+  Machine m(4);
+  m.allocate(3, 0);
+  EXPECT_THROW(m.allocate(2, 0), InvariantError);
+}
+
+TEST(Machine, AllocateZeroThrows) {
+  Machine m(4);
+  EXPECT_THROW(m.allocate(0, 0), InvariantError);
+}
+
+TEST(Machine, DoubleReleaseThrows) {
+  Machine m(4);
+  const ProcSet a = m.allocate(2, 0);
+  m.release(a, 1);
+  EXPECT_THROW(m.release(a, 2), InvariantError);
+}
+
+TEST(Machine, ReleaseOfFreeProcsThrows) {
+  Machine m(4);
+  ProcSet s;
+  s.insert(3);
+  EXPECT_THROW(m.release(s, 0), InvariantError);
+}
+
+TEST(Machine, AllocateExactTakesRequestedSet) {
+  Machine m(16);
+  ProcSet want;
+  want.insert(3);
+  want.insert(9);
+  m.allocateExact(want, 0);
+  EXPECT_EQ(m.freeCount(), 14u);
+  EXPECT_FALSE(m.freeSet().contains(3));
+  EXPECT_FALSE(m.freeSet().contains(9));
+}
+
+TEST(Machine, AllocateExactOfBusyThrows) {
+  Machine m(16);
+  const ProcSet a = m.allocate(4, 0);
+  EXPECT_THROW(m.allocateExact(a, 0), InvariantError);
+}
+
+TEST(Machine, AllocateAvoidingSkipsAvoidSet) {
+  Machine m(8);
+  ProcSet avoid;
+  avoid.insert(0);
+  avoid.insert(1);
+  const ProcSet got = m.allocateAvoiding(2, avoid, 0);
+  EXPECT_TRUE(got.contains(2));
+  EXPECT_TRUE(got.contains(3));
+  EXPECT_FALSE(got.intersects(avoid));
+  // The avoided processors are still free.
+  EXPECT_TRUE(avoid.isSubsetOf(m.freeSet()));
+}
+
+TEST(Machine, AllocateAvoidingInsufficientThrows) {
+  Machine m(4);
+  const ProcSet avoid = ProcSet::firstN(3);
+  EXPECT_THROW(m.allocateAvoiding(2, avoid, 0), InvariantError);
+}
+
+TEST(Machine, BusyIntegralAccumulates) {
+  Machine m(10);
+  EXPECT_DOUBLE_EQ(m.busyProcSeconds(100), 0.0);
+  const ProcSet a = m.allocate(4, 100);   // 4 busy from t=100
+  EXPECT_DOUBLE_EQ(m.busyProcSeconds(110), 40.0);
+  const ProcSet b = m.allocate(6, 110);   // 10 busy from t=110
+  EXPECT_DOUBLE_EQ(m.busyProcSeconds(120), 40.0 + 100.0);
+  m.release(a, 120);                      // 6 busy from t=120
+  m.release(b, 130);
+  EXPECT_DOUBLE_EQ(m.busyProcSeconds(130), 40.0 + 100.0 + 60.0);
+  EXPECT_DOUBLE_EQ(m.busyProcSeconds(1000), 200.0);
+}
+
+TEST(Machine, TimeMustNotGoBackwards) {
+  Machine m(4);
+  m.allocate(1, 100);
+  EXPECT_THROW(m.allocate(1, 50), InvariantError);
+}
+
+TEST(Machine, FullMachineLifecycle) {
+  Machine m(430);  // CTC size
+  const ProcSet all = m.allocate(430, 0);
+  EXPECT_EQ(m.busyCount(), 430u);
+  EXPECT_EQ(m.freeCount(), 0u);
+  m.release(all, 3600);
+  EXPECT_DOUBLE_EQ(m.busyProcSeconds(3600), 430.0 * 3600.0);
+}
+
+}  // namespace
+}  // namespace sps::sim

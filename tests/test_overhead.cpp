@@ -1,0 +1,61 @@
+// Unit tests: suspension/restart overhead models (Section V-A).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "sched/overhead.hpp"
+#include "util/check.hpp"
+
+namespace sps::sched {
+namespace {
+
+using test::J;
+using test::makeTrace;
+
+TEST(DiskSwapOverhead, PaperNumbers) {
+  // 2 MB/s per processor: 100 MB -> 50 s, 1024 MB -> 512 s; width-independent
+  // (every processor drains its own image in parallel).
+  auto trace = makeTrace(8, {{0, 10, 1}, {0, 10, 8}});
+  trace.jobs[0].memoryMb = 100;
+  trace.jobs[1].memoryMb = 1024;
+  DiskSwapOverhead model(trace);
+  EXPECT_EQ(model.suspendOverhead(0), 50);
+  EXPECT_EQ(model.resumeOverhead(0), 50);
+  EXPECT_EQ(model.suspendOverhead(1), 512);
+  EXPECT_EQ(model.resumeOverhead(1), 512);
+  EXPECT_DOUBLE_EQ(model.bandwidthMbPerSecond(), 2.0);
+}
+
+TEST(DiskSwapOverhead, CustomBandwidth) {
+  auto trace = makeTrace(8, {{0, 10, 2}});
+  trace.jobs[0].memoryMb = 800;
+  DiskSwapOverhead model(trace, 8.0);
+  EXPECT_EQ(model.suspendOverhead(0), 100);
+}
+
+TEST(DiskSwapOverhead, RoundsUpPartialSeconds) {
+  auto trace = makeTrace(8, {{0, 10, 2}});
+  trace.jobs[0].memoryMb = 3;
+  DiskSwapOverhead model(trace, 2.0);
+  EXPECT_EQ(model.suspendOverhead(0), 2);  // 1.5 s -> 2 s
+}
+
+TEST(DiskSwapOverhead, ZeroMemoryIsFree) {
+  auto trace = makeTrace(8, {{0, 10, 2}});
+  DiskSwapOverhead model(trace);
+  EXPECT_EQ(model.suspendOverhead(0), 0);
+}
+
+TEST(DiskSwapOverhead, RejectsBadBandwidth) {
+  const auto trace = makeTrace(8, {{0, 10, 2}});
+  EXPECT_THROW(DiskSwapOverhead(trace, 0.0), InvariantError);
+  EXPECT_THROW(DiskSwapOverhead(trace, -2.0), InvariantError);
+}
+
+TEST(FixedOverhead, ReturnsConfiguredValues) {
+  FixedOverhead model(12, 34);
+  EXPECT_EQ(model.suspendOverhead(0), 12);
+  EXPECT_EQ(model.resumeOverhead(99), 34);
+}
+
+}  // namespace
+}  // namespace sps::sched

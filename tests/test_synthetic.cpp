@@ -1,0 +1,167 @@
+// Unit tests: the synthetic workload generator and its paper calibration.
+#include <gtest/gtest.h>
+
+#include "metrics/category_stats.hpp"
+#include "util/check.hpp"
+#include "workload/synthetic.hpp"
+
+namespace sps::workload {
+namespace {
+
+TEST(Synthetic, Deterministic) {
+  const Trace a = generateTrace(ctcConfig(500, 7));
+  const Trace b = generateTrace(ctcConfig(500, 7));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].submit, b.jobs[i].submit);
+    EXPECT_EQ(a.jobs[i].runtime, b.jobs[i].runtime);
+    EXPECT_EQ(a.jobs[i].procs, b.jobs[i].procs);
+    EXPECT_EQ(a.jobs[i].memoryMb, b.jobs[i].memoryMb);
+  }
+}
+
+TEST(Synthetic, SeedChangesTrace) {
+  const Trace a = generateTrace(ctcConfig(500, 7));
+  const Trace b = generateTrace(ctcConfig(500, 8));
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    anyDiff |= a.jobs[i].runtime != b.jobs[i].runtime;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Synthetic, ProducesRequestedCount) {
+  EXPECT_EQ(generateTrace(ctcConfig(123, 1)).jobs.size(), 123u);
+}
+
+TEST(Synthetic, ResultValidates) {
+  EXPECT_NO_THROW(validateTrace(generateTrace(sdscConfig(1000, 3))));
+}
+
+TEST(Synthetic, EstimatesAreAccurateByDefault) {
+  const Trace t = generateTrace(kthConfig(300, 5));
+  for (const Job& j : t.jobs) EXPECT_EQ(j.estimate, j.runtime);
+}
+
+TEST(Synthetic, MemoryWithinConfiguredRange) {
+  SyntheticConfig cfg = ctcConfig(500, 9);
+  cfg.memMinMb = 100;
+  cfg.memMaxMb = 1024;
+  const Trace t = generateTrace(cfg);
+  for (const Job& j : t.jobs) {
+    EXPECT_GE(j.memoryMb, 100u);
+    EXPECT_LE(j.memoryMb, 1024u);
+  }
+}
+
+TEST(Synthetic, RuntimesAndWidthsRespectCategoryBands) {
+  const Trace t = generateTrace(sdscConfig(2000, 11));
+  for (const Job& j : t.jobs) {
+    EXPECT_GE(j.runtime, 1);
+    EXPECT_LE(j.runtime, 24 * kHour);
+    EXPECT_GE(j.procs, 1u);
+    EXPECT_LE(j.procs, t.machineProcs);
+  }
+}
+
+TEST(Synthetic, OfferedLoadHitsTarget) {
+  SyntheticConfig cfg = ctcConfig(4000, 13);
+  cfg.offeredLoad = 0.5;
+  const Trace t = generateTrace(cfg);
+  EXPECT_NEAR(offeredLoad(t), 0.5, 0.05);
+}
+
+TEST(Synthetic, CategoryMixMatchesTableII) {
+  // With 20k jobs each cell should be within ~1.5 points of its target.
+  const Trace t = generateTrace(ctcConfig(20000, 17));
+  const auto dist = metrics::distribution16(t.jobs);
+  const auto& mix = ctcConfig().categoryMix;
+  double mixTotal = 0;
+  for (double m : mix) mixTotal += m;
+  for (std::size_t c = 0; c < kNumCategories16; ++c) {
+    const double target = 100.0 * mix[c] / mixTotal;
+    EXPECT_NEAR(dist[c], target, 1.5) << "category " << category16Name(c);
+  }
+}
+
+TEST(Synthetic, ArrivalsAreSortedFromZero) {
+  const Trace t = generateTrace(sdscConfig(1000, 19));
+  EXPECT_EQ(t.jobs.front().submit, 0);
+  for (std::size_t i = 1; i < t.jobs.size(); ++i)
+    EXPECT_GE(t.jobs[i].submit, t.jobs[i - 1].submit);
+}
+
+TEST(Synthetic, PresetsMatchPaperMachines) {
+  EXPECT_EQ(ctcConfig().machineProcs, 430u);   // CTC SP2
+  EXPECT_EQ(sdscConfig().machineProcs, 128u);  // SDSC SP2
+  EXPECT_EQ(kthConfig().machineProcs, 100u);   // KTH SP2
+}
+
+TEST(Synthetic, DistinctPresetSeedsGiveDistinctTraces) {
+  const Trace c = generateTrace(ctcConfig(200, 42));
+  const Trace s = generateTrace(sdscConfig(200, 42));
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < 200; ++i)
+    anyDiff |= c.jobs[i].runtime != s.jobs[i].runtime;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Synthetic, RejectsBadConfigs) {
+  SyntheticConfig cfg = ctcConfig(10, 1);
+  cfg.machineProcs = 16;  // narrower than the VW boundary
+  EXPECT_THROW(generateTrace(cfg), InvariantError);
+
+  cfg = ctcConfig(10, 1);
+  cfg.jobCount = 0;
+  EXPECT_THROW(generateTrace(cfg), InvariantError);
+
+  cfg = ctcConfig(10, 1);
+  cfg.offeredLoad = 0.0;
+  EXPECT_THROW(generateTrace(cfg), InvariantError);
+
+  cfg = ctcConfig(10, 1);
+  cfg.memMinMb = 0;
+  EXPECT_THROW(generateTrace(cfg), InvariantError);
+
+  cfg = ctcConfig(10, 1);
+  cfg.maxRuntime = kLongMax;  // VL band empty
+  EXPECT_THROW(generateTrace(cfg), InvariantError);
+}
+
+// Width-bias property: a larger widthAlpha must not increase mean width.
+class WidthAlpha : public ::testing::TestWithParam<double> {};
+
+TEST_P(WidthAlpha, WidthsStayInVwBand) {
+  SyntheticConfig cfg = sdscConfig(2000, 23);
+  cfg.widthAlpha = GetParam();
+  // Force everything into the VS-VW cell to probe the band directly.
+  cfg.categoryMix.fill(0.0);
+  cfg.categoryMix[3] = 1.0;
+  const Trace t = generateTrace(cfg);
+  for (const Job& j : t.jobs) {
+    EXPECT_GE(j.procs, kWideMax + 1);
+    EXPECT_LE(j.procs, cfg.machineProcs);
+    EXPECT_LE(j.runtime, kVeryShortMax);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, WidthAlpha,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0));
+
+TEST(Synthetic, HigherWidthAlphaGivesNarrowerJobs) {
+  double prevMean = 1e9;
+  for (double alpha : {1.0, 2.0, 3.0}) {
+    SyntheticConfig cfg = sdscConfig(4000, 29);
+    cfg.widthAlpha = alpha;
+    cfg.categoryMix.fill(0.0);
+    cfg.categoryMix[3] = 1.0;  // VS-VW only
+    const Trace t = generateTrace(cfg);
+    double mean = 0;
+    for (const Job& j : t.jobs) mean += j.procs;
+    mean /= static_cast<double>(t.jobs.size());
+    EXPECT_LT(mean, prevMean);
+    prevMean = mean;
+  }
+}
+
+}  // namespace
+}  // namespace sps::workload

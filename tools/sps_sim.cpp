@@ -1,0 +1,290 @@
+// sps_sim — command-line driver for the scheduling simulator.
+//
+// Run any scheduler over an SWF log or a calibrated synthetic workload and
+// print the paper's metrics:
+//
+//   sps_sim --preset sdsc --policy ss --sf 2
+//   sps_sim --trace CTC-SP2-1996-3.1-cln.swf --procs 430 --policy tss
+//   sps_sim --preset ctc --policy gang --gang-slots 3 --overhead --worst
+//   sps_sim --preset kth --load-factor 1.3 --policy easy --csv
+//
+// Everything is deterministic in --seed.
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/simulation.hpp"
+#include "metrics/report.hpp"
+#include "sched/overhead.hpp"
+#include "util/table.hpp"
+#include "workload/estimate_model.hpp"
+#include "workload/summary.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/transforms.hpp"
+
+namespace {
+
+using namespace sps;
+
+struct CliOptions {
+  std::string traceFile;
+  std::uint32_t procs = 0;
+  std::string preset = "sdsc";
+  std::size_t jobs = 10000;
+  std::uint64_t seed = 42;
+  std::optional<double> load;
+  double loadFactor = 1.0;
+  std::string policy = "ss";
+  double sf = 2.0;
+  std::string estimates = "accurate";
+  bool overhead = false;
+  std::size_t gangSlots = 4;
+  Time gangQuantum = 600;
+  std::size_t depth = 2;
+  bool csv = false;
+  bool worst = false;
+  bool summaryOnly = false;
+};
+
+void printUsage(std::ostream& os) {
+  os << R"(sps_sim — parallel job scheduling simulator
+(Kettimuthu et al., "Selective Preemption Strategies for Parallel Job
+Scheduling", reproduced in C++20)
+
+Workload (choose one):
+  --trace FILE --procs N     Standard Workload Format log on an N-processor
+                             machine
+  --preset ctc|sdsc|kth      calibrated synthetic workload (default: sdsc)
+      --jobs N               synthetic job count        (default: 10000)
+      --seed S               RNG seed                   (default: 42)
+      --load F               offered-load override      (default: preset)
+  --load-factor F            divide arrival times by F  (Section VI)
+  --estimates MODEL          accurate | modal | uniform (Section V)
+
+Scheduler:
+  --policy NAME              fcfs | conservative | easy | sjf | ss | tss |
+                             tss-online | is | gang | depth  (default: ss)
+      --sf F                 suspension factor for ss/tss (default: 2)
+      --gang-slots N         gang multiprogramming level (default: 4)
+      --gang-quantum SEC     gang time slice             (default: 600)
+      --depth K              reservation depth for depth  (default: 2)
+  --overhead                 2 MB/s disk-swap suspension cost (Section V-A)
+
+Output:
+  --csv                      CSV tables instead of aligned ASCII
+  --worst                    also print worst-case grids
+  --summary-only             one-line summary, no grids
+  --help
+)";
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "sps_sim: " << message << "\n(--help for usage)\n";
+  std::exit(2);
+}
+
+CliOptions parseArgs(int argc, char** argv) {
+  CliOptions opt;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto next = [&](std::size_t& i, const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) fail(flag + " requires a value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    try {
+      if (a == "--help" || a == "-h") {
+        printUsage(std::cout);
+        std::exit(0);
+      } else if (a == "--trace") {
+        opt.traceFile = next(i, a);
+      } else if (a == "--procs") {
+        opt.procs = static_cast<std::uint32_t>(std::stoul(next(i, a)));
+      } else if (a == "--preset") {
+        opt.preset = next(i, a);
+      } else if (a == "--jobs") {
+        opt.jobs = std::stoul(next(i, a));
+      } else if (a == "--seed") {
+        opt.seed = std::stoull(next(i, a));
+      } else if (a == "--load") {
+        opt.load = std::stod(next(i, a));
+      } else if (a == "--load-factor") {
+        opt.loadFactor = std::stod(next(i, a));
+      } else if (a == "--policy") {
+        opt.policy = next(i, a);
+      } else if (a == "--sf") {
+        opt.sf = std::stod(next(i, a));
+      } else if (a == "--estimates") {
+        opt.estimates = next(i, a);
+      } else if (a == "--overhead") {
+        opt.overhead = true;
+      } else if (a == "--gang-slots") {
+        opt.gangSlots = std::stoul(next(i, a));
+      } else if (a == "--gang-quantum") {
+        opt.gangQuantum = std::stol(next(i, a));
+      } else if (a == "--depth") {
+        opt.depth = std::stoul(next(i, a));
+      } else if (a == "--csv") {
+        opt.csv = true;
+      } else if (a == "--worst") {
+        opt.worst = true;
+      } else if (a == "--summary-only") {
+        opt.summaryOnly = true;
+      } else {
+        fail("unknown option: " + a);
+      }
+    } catch (const std::invalid_argument&) {
+      fail("bad numeric value for " + a);
+    } catch (const std::out_of_range&) {
+      fail("value out of range for " + a);
+    }
+  }
+  return opt;
+}
+
+workload::Trace buildWorkload(const CliOptions& opt) {
+  workload::Trace trace;
+  if (!opt.traceFile.empty()) {
+    if (opt.procs == 0) fail("--trace requires --procs");
+    workload::SwfReadStats stats;
+    trace = workload::readSwfFile(opt.traceFile, opt.traceFile, opt.procs,
+                                  &stats);
+    std::cerr << "read " << stats.jobsAccepted << " jobs ("
+              << stats.droppedNonPositiveRuntime +
+                     stats.droppedNonPositiveProcs + stats.droppedTooWide
+              << " dropped, " << stats.estimatesClamped
+              << " estimates clamped)\n";
+  } else {
+    workload::SyntheticConfig cfg;
+    if (opt.preset == "ctc") cfg = workload::ctcConfig(opt.jobs, opt.seed);
+    else if (opt.preset == "sdsc")
+      cfg = workload::sdscConfig(opt.jobs, opt.seed);
+    else if (opt.preset == "kth")
+      cfg = workload::kthConfig(opt.jobs, opt.seed);
+    else fail("unknown preset: " + opt.preset);
+    if (opt.load) cfg.offeredLoad = *opt.load;
+    trace = workload::generateTrace(cfg);
+  }
+
+  if (opt.estimates == "modal") {
+    workload::EstimateModelConfig est;
+    est.kind = workload::EstimateModelKind::Modal;
+    est.seed = opt.seed + 1;
+    applyEstimates(trace, est);
+  } else if (opt.estimates == "uniform") {
+    workload::EstimateModelConfig est;
+    est.kind = workload::EstimateModelKind::UniformFactor;
+    est.seed = opt.seed + 1;
+    applyEstimates(trace, est);
+  } else if (opt.estimates != "accurate") {
+    fail("unknown estimate model: " + opt.estimates);
+  }
+
+  if (opt.loadFactor != 1.0)
+    trace = workload::scaleLoad(trace, opt.loadFactor);
+  return trace;
+}
+
+core::PolicySpec buildPolicy(const CliOptions& opt,
+                             const workload::Trace& trace) {
+  core::PolicySpec spec;
+  if (opt.policy == "fcfs") {
+    spec.kind = core::PolicyKind::Fcfs;
+  } else if (opt.policy == "conservative") {
+    spec.kind = core::PolicyKind::Conservative;
+  } else if (opt.policy == "easy") {
+    spec.kind = core::PolicyKind::Easy;
+  } else if (opt.policy == "sjf") {
+    spec.kind = core::PolicyKind::Easy;
+    spec.easy.order = sched::QueueOrder::ShortestFirst;
+  } else if (opt.policy == "ss") {
+    spec.kind = core::PolicyKind::SelectiveSuspension;
+    spec.ss.suspensionFactor = opt.sf;
+  } else if (opt.policy == "tss") {
+    spec.kind = core::PolicyKind::SelectiveSuspension;
+    spec.ss.suspensionFactor = opt.sf;
+    std::cerr << "calibrating TSS limits from an NS run...\n";
+    spec.ss.tssLimits = core::bootstrapTssLimits(trace);
+  } else if (opt.policy == "tss-online") {
+    spec.kind = core::PolicyKind::SelectiveSuspension;
+    spec.ss.suspensionFactor = opt.sf;
+    spec.ss.tssOnlineMultiplier = 1.5;
+  } else if (opt.policy == "is") {
+    spec.kind = core::PolicyKind::ImmediateService;
+  } else if (opt.policy == "gang") {
+    spec.kind = core::PolicyKind::Gang;
+    spec.gang.maxSlots = opt.gangSlots;
+    spec.gang.slotQuantum = opt.gangQuantum;
+  } else if (opt.policy == "depth") {
+    spec.kind = core::PolicyKind::DepthBackfill;
+    spec.depth.depth = opt.depth;
+  } else {
+    fail("unknown policy: " + opt.policy);
+  }
+  return spec;
+}
+
+void printTable(const Table& table, bool csv) {
+  if (csv) table.printCsv(std::cout);
+  else table.printAscii(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parseArgs(argc, argv);
+  try {
+    const workload::Trace trace = buildWorkload(opt);
+    const core::PolicySpec spec = buildPolicy(opt, trace);
+
+    std::optional<sched::DiskSwapOverhead> overhead;
+    core::SimulationOptions options;
+    if (opt.overhead) {
+      overhead.emplace(trace, 2.0);
+      options.overhead = &*overhead;
+    }
+
+    const metrics::RunStats stats =
+        core::runSimulation(trace, spec, options);
+    std::cout << metrics::summaryLine(stats) << "\n";
+    if (opt.summaryOnly) return 0;
+
+    std::cout << "\nWorkload (" << trace.name << ", "
+              << trace.machineProcs << " processors):\n";
+    printTable(workload::summaryStatsTable(workload::summarizeTrace(trace)),
+               opt.csv);
+
+    const auto cat = metrics::categorize16(stats.jobs);
+    std::cout << "\nAverage bounded slowdown by category:\n";
+    printTable(metrics::categoryGrid16(cat, metrics::Metric::AvgSlowdown),
+               opt.csv);
+    std::cout << "\nAverage turnaround time (s) by category:\n";
+    printTable(
+        metrics::categoryGrid16(cat, metrics::Metric::AvgTurnaround, 0),
+        opt.csv);
+    if (opt.worst) {
+      std::cout << "\np95 slowdown by category:\n";
+      printTable(metrics::categoryGrid16(cat, metrics::Metric::P95Slowdown),
+                 opt.csv);
+      std::cout << "\nWorst-case slowdown by category:\n";
+      printTable(
+          metrics::categoryGrid16(cat, metrics::Metric::WorstSlowdown),
+          opt.csv);
+      std::cout << "\nWorst-case turnaround time (s) by category:\n";
+      printTable(
+          metrics::categoryGrid16(cat, metrics::Metric::WorstTurnaround, 0),
+          opt.csv);
+    }
+    return 0;
+  } catch (const sps::InputError& e) {
+    std::cerr << "sps_sim: input error: " << e.what() << "\n";
+    return 1;
+  } catch (const sps::InvariantError& e) {
+    std::cerr << "sps_sim: internal error: " << e.what() << "\n";
+    return 1;
+  }
+}
