@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_halfwidth"
+  "../bench/bench_ablation_halfwidth.pdb"
+  "CMakeFiles/bench_ablation_halfwidth.dir/bench_ablation_halfwidth.cpp.o"
+  "CMakeFiles/bench_ablation_halfwidth.dir/bench_ablation_halfwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_halfwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tss_limit"
+  "../bench/bench_ablation_tss_limit.pdb"
+  "CMakeFiles/bench_ablation_tss_limit.dir/bench_ablation_tss_limit.cpp.o"
+  "CMakeFiles/bench_ablation_tss_limit.dir/bench_ablation_tss_limit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tss_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

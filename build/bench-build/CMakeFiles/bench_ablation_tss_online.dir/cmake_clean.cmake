@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tss_online"
+  "../bench/bench_ablation_tss_online.pdb"
+  "CMakeFiles/bench_ablation_tss_online.dir/bench_ablation_tss_online.cpp.o"
+  "CMakeFiles/bench_ablation_tss_online.dir/bench_ablation_tss_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tss_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

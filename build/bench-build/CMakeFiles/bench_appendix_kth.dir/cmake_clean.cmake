@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix_kth"
+  "../bench/bench_appendix_kth.pdb"
+  "CMakeFiles/bench_appendix_kth.dir/bench_appendix_kth.cpp.o"
+  "CMakeFiles/bench_appendix_kth.dir/bench_appendix_kth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_kth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

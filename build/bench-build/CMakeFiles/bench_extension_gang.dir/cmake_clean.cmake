@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_gang"
+  "../bench/bench_extension_gang.pdb"
+  "CMakeFiles/bench_extension_gang.dir/bench_extension_gang.cpp.o"
+  "CMakeFiles/bench_extension_gang.dir/bench_extension_gang.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_overhead_sdsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_ss_avg_ctc"
+  "../bench/bench_fig_ss_avg_ctc.pdb"
+  "CMakeFiles/bench_fig_ss_avg_ctc.dir/bench_fig_ss_avg_ctc.cpp.o"
+  "CMakeFiles/bench_fig_ss_avg_ctc.dir/bench_fig_ss_avg_ctc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_ss_avg_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_worstcase_ctc"
+  "../bench/bench_fig_worstcase_ctc.pdb"
+  "CMakeFiles/bench_fig_worstcase_ctc.dir/bench_fig_worstcase_ctc.cpp.o"
+  "CMakeFiles/bench_fig_worstcase_ctc.dir/bench_fig_worstcase_ctc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_worstcase_ctc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_worstcase_sdsc"
+  "../bench/bench_fig_worstcase_sdsc.pdb"
+  "CMakeFiles/bench_fig_worstcase_sdsc.dir/bench_fig_worstcase_sdsc.cpp.o"
+  "CMakeFiles/bench_fig_worstcase_sdsc.dir/bench_fig_worstcase_sdsc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_worstcase_sdsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_procset"
+  "../bench/bench_micro_procset.pdb"
+  "CMakeFiles/bench_micro_procset.dir/bench_micro_procset.cpp.o"
+  "CMakeFiles/bench_micro_procset.dir/bench_micro_procset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_procset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

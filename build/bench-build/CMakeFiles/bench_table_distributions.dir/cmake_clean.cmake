@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_distributions"
+  "../bench/bench_table_distributions.pdb"
+  "CMakeFiles/bench_table_distributions.dir/bench_table_distributions.cpp.o"
+  "CMakeFiles/bench_table_distributions.dir/bench_table_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

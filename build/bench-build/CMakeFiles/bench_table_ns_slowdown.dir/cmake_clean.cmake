@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_ns_slowdown"
+  "../bench/bench_table_ns_slowdown.pdb"
+  "CMakeFiles/bench_table_ns_slowdown.dir/bench_table_ns_slowdown.cpp.o"
+  "CMakeFiles/bench_table_ns_slowdown.dir/bench_table_ns_slowdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_ns_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspension_timeline.dir/suspension_timeline.cpp.o"
+  "CMakeFiles/suspension_timeline.dir/suspension_timeline.cpp.o.d"
+  "suspension_timeline"
+  "suspension_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspension_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/sps.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/sps.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/figures.cpp" "src/CMakeFiles/sps.dir/core/figures.cpp.o" "gcc" "src/CMakeFiles/sps.dir/core/figures.cpp.o.d"
+  "/root/repo/src/core/replicate.cpp" "src/CMakeFiles/sps.dir/core/replicate.cpp.o" "gcc" "src/CMakeFiles/sps.dir/core/replicate.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/sps.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/sps.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/metrics/category_stats.cpp" "src/CMakeFiles/sps.dir/metrics/category_stats.cpp.o" "gcc" "src/CMakeFiles/sps.dir/metrics/category_stats.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/sps.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/sps.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/sps.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/sps.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/sched/availability_profile.cpp" "src/CMakeFiles/sps.dir/sched/availability_profile.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/availability_profile.cpp.o.d"
+  "/root/repo/src/sched/conservative.cpp" "src/CMakeFiles/sps.dir/sched/conservative.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/conservative.cpp.o.d"
+  "/root/repo/src/sched/depth_backfill.cpp" "src/CMakeFiles/sps.dir/sched/depth_backfill.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/depth_backfill.cpp.o.d"
+  "/root/repo/src/sched/easy.cpp" "src/CMakeFiles/sps.dir/sched/easy.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/easy.cpp.o.d"
+  "/root/repo/src/sched/fcfs.cpp" "src/CMakeFiles/sps.dir/sched/fcfs.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/fcfs.cpp.o.d"
+  "/root/repo/src/sched/gang.cpp" "src/CMakeFiles/sps.dir/sched/gang.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/gang.cpp.o.d"
+  "/root/repo/src/sched/immediate_service.cpp" "src/CMakeFiles/sps.dir/sched/immediate_service.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/immediate_service.cpp.o.d"
+  "/root/repo/src/sched/overhead.cpp" "src/CMakeFiles/sps.dir/sched/overhead.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/overhead.cpp.o.d"
+  "/root/repo/src/sched/selective_suspension.cpp" "src/CMakeFiles/sps.dir/sched/selective_suspension.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sched/selective_suspension.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/sps.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/sps.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/procset.cpp" "src/CMakeFiles/sps.dir/sim/procset.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sim/procset.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/sps.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/sps.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/sps.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/sps.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/sps.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/sps.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/sps.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/sps.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sps.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sps.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/category.cpp" "src/CMakeFiles/sps.dir/workload/category.cpp.o" "gcc" "src/CMakeFiles/sps.dir/workload/category.cpp.o.d"
+  "/root/repo/src/workload/estimate_model.cpp" "src/CMakeFiles/sps.dir/workload/estimate_model.cpp.o" "gcc" "src/CMakeFiles/sps.dir/workload/estimate_model.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/CMakeFiles/sps.dir/workload/job.cpp.o" "gcc" "src/CMakeFiles/sps.dir/workload/job.cpp.o.d"
+  "/root/repo/src/workload/summary.cpp" "src/CMakeFiles/sps.dir/workload/summary.cpp.o" "gcc" "src/CMakeFiles/sps.dir/workload/summary.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/CMakeFiles/sps.dir/workload/swf.cpp.o" "gcc" "src/CMakeFiles/sps.dir/workload/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/sps.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/sps.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/CMakeFiles/sps.dir/workload/transforms.cpp.o" "gcc" "src/CMakeFiles/sps.dir/workload/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

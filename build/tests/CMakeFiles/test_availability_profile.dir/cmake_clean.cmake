@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_availability_profile.dir/test_availability_profile.cpp.o"
+  "CMakeFiles/test_availability_profile.dir/test_availability_profile.cpp.o.d"
+  "test_availability_profile"
+  "test_availability_profile.pdb"
+  "test_availability_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_availability_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

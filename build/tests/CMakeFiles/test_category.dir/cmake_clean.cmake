@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_category.dir/test_category.cpp.o"
+  "CMakeFiles/test_category.dir/test_category.cpp.o.d"
+  "test_category"
+  "test_category.pdb"
+  "test_category[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

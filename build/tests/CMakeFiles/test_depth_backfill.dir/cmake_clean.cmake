@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depth_backfill.dir/test_depth_backfill.cpp.o"
+  "CMakeFiles/test_depth_backfill.dir/test_depth_backfill.cpp.o.d"
+  "test_depth_backfill"
+  "test_depth_backfill.pdb"
+  "test_depth_backfill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depth_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_easy.dir/test_easy.cpp.o"
+  "CMakeFiles/test_easy.dir/test_easy.cpp.o.d"
+  "test_easy"
+  "test_easy.pdb"
+  "test_easy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_easy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gang.dir/test_gang.cpp.o"
+  "CMakeFiles/test_gang.dir/test_gang.cpp.o.d"
+  "test_gang"
+  "test_gang.pdb"
+  "test_gang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_immediate_service.dir/test_immediate_service.cpp.o"
+  "CMakeFiles/test_immediate_service.dir/test_immediate_service.cpp.o.d"
+  "test_immediate_service"
+  "test_immediate_service.pdb"
+  "test_immediate_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_immediate_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

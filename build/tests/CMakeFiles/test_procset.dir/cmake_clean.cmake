@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procset.dir/test_procset.cpp.o"
+  "CMakeFiles/test_procset.dir/test_procset.cpp.o.d"
+  "test_procset"
+  "test_procset.pdb"
+  "test_procset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

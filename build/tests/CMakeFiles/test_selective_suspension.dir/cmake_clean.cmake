@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selective_suspension.dir/test_selective_suspension.cpp.o"
+  "CMakeFiles/test_selective_suspension.dir/test_selective_suspension.cpp.o.d"
+  "test_selective_suspension"
+  "test_selective_suspension.pdb"
+  "test_selective_suspension[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selective_suspension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

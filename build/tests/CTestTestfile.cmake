@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_procset[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_category[1]_include.cmake")
+include("/root/repo/build/tests/test_swf[1]_include.cmake")
+include("/root/repo/build/tests/test_synthetic[1]_include.cmake")
+include("/root/repo/build/tests/test_estimate_model[1]_include.cmake")
+include("/root/repo/build/tests/test_availability_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_fcfs[1]_include.cmake")
+include("/root/repo/build/tests/test_conservative[1]_include.cmake")
+include("/root/repo/build/tests/test_easy[1]_include.cmake")
+include("/root/repo/build/tests/test_selective_suspension[1]_include.cmake")
+include("/root/repo/build/tests/test_immediate_service[1]_include.cmake")
+include("/root/repo/build/tests/test_overhead[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_gang[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_regressions[1]_include.cmake")
+include("/root/repo/build/tests/test_chaos[1]_include.cmake")
+include("/root/repo/build/tests/test_depth_backfill[1]_include.cmake")

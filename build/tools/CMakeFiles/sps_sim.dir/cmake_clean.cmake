@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sps_sim.dir/sps_sim.cpp.o"
+  "CMakeFiles/sps_sim.dir/sps_sim.cpp.o.d"
+  "sps_sim"
+  "sps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
