@@ -2,23 +2,43 @@
 // supercomputer center asking whether preemptive scheduling is worth it.
 // Runs all five schedulers (FCFS, conservative backfilling, EASY, Selective
 // Suspension, Immediate Service) on the same workload and prints the paper's
-// metrics side by side.
+// metrics side by side. The schedulers run concurrently on a core::Runner;
+// flag parsing is the shared core::CliConfig.
 //
 // Usage:
-//   policy_comparison [jobs] [ctc|sdsc|kth]
+//   policy_comparison [jobs] [machine] [--threads N]
 #include <iostream>
 #include <string>
 
+#include "core/cli_config.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/runner.hpp"
 #include "metrics/report.hpp"
 #include "util/table.hpp"
 #include "workload/synthetic.hpp"
 
 int main(int argc, char** argv) {
   using namespace sps;
-  const std::size_t jobs = argc > 1 ? std::stoul(argv[1]) : 4000;
-  const std::string machine = argc > 2 ? argv[2] : "sdsc";
+
+  std::size_t jobs = 4000;
+  std::string machine = "sdsc";
+  std::size_t threads = 0;
+  core::CliConfig cli("policy_comparison",
+                      "all schedulers side by side on one workload");
+  cli.positional("jobs", &jobs, "synthetic job count (default: 4000)");
+  cli.positional("machine", &machine, "ctc | sdsc | kth (default: sdsc)");
+  cli.option("--threads", &threads, "N",
+             "worker threads (0 = all hardware threads)");
+  try {
+    if (cli.parse(argc, argv).helpRequested) {
+      cli.printUsage(std::cout);
+      return 0;
+    }
+  } catch (const InputError& e) {
+    std::cerr << "policy_comparison: " << e.what() << "\n";
+    return 2;
+  }
 
   workload::SyntheticConfig cfg =
       machine == "ctc"   ? workload::ctcConfig(jobs)
@@ -50,7 +70,8 @@ int main(int argc, char** argv) {
     specs.push_back(sjf);
   }
 
-  const auto runs = core::compareSchemes(trace, specs);
+  core::Runner runner({.threads = threads});
+  const auto runs = core::compareSchemes(runner, trace, specs);
 
   Table t({"policy", "avg slowdown", "avg turnaround", "worst slowdown",
            "utilization", "suspensions"});

@@ -1,0 +1,123 @@
+#include "core/cli_config.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace sps::core {
+
+CliConfig::CliConfig(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {
+  sections_.push_back("Options");
+}
+
+void CliConfig::section(std::string heading) {
+  // The implicit leading "Options" section is replaced if still unused.
+  if (options_.empty() && sections_.size() == 1)
+    sections_.back() = std::move(heading);
+  else
+    sections_.push_back(std::move(heading));
+}
+
+void CliConfig::flag(std::string name, bool* target, std::string help) {
+  SPS_CHECK(target != nullptr);
+  SPS_CHECK_MSG(find(name) == nullptr, "duplicate option " << name);
+  Option opt;
+  opt.name = std::move(name);
+  opt.help = std::move(help);
+  opt.sectionIndex = sections_.size() - 1;
+  opt.flagTarget = target;
+  options_.push_back(std::move(opt));
+}
+
+void CliConfig::addOption(std::string name, std::string valueName,
+                          std::string help, Parser parse) {
+  SPS_CHECK_MSG(find(name) == nullptr, "duplicate option " << name);
+  Option opt;
+  opt.name = std::move(name);
+  opt.valueName = std::move(valueName);
+  opt.help = std::move(help);
+  opt.sectionIndex = sections_.size() - 1;
+  opt.parse = std::move(parse);
+  options_.push_back(std::move(opt));
+}
+
+void CliConfig::addPositional(std::string name, std::string help,
+                              Parser parse) {
+  Positional pos;
+  pos.name = std::move(name);
+  pos.help = std::move(help);
+  pos.parse = std::move(parse);
+  positionals_.push_back(std::move(pos));
+}
+
+const CliConfig::Option* CliConfig::find(std::string_view name) const {
+  const auto it = std::find_if(
+      options_.begin(), options_.end(),
+      [name](const Option& opt) { return opt.name == name; });
+  return it == options_.end() ? nullptr : &*it;
+}
+
+CliConfig::ParseOutcome CliConfig::parse(int argc,
+                                         const char* const* argv) const {
+  std::size_t nextPositional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return {.helpRequested = true};
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      const Option* opt = find(arg);
+      if (opt == nullptr)
+        throw InputError("unknown option: " + arg);
+      if (opt->flagTarget != nullptr) {
+        *opt->flagTarget = true;
+        continue;
+      }
+      if (i + 1 >= argc) throw InputError(arg + " requires a value");
+      opt->parse(arg, argv[++i]);
+      continue;
+    }
+    if (nextPositional >= positionals_.size())
+      throw InputError("unexpected argument: " + arg);
+    const Positional& pos = positionals_[nextPositional++];
+    pos.parse(pos.name, arg);
+  }
+  return {};
+}
+
+void CliConfig::printUsage(std::ostream& os) const {
+  os << program_ << " — " << summary_ << "\n";
+  if (!positionals_.empty()) {
+    os << "\nUsage: " << program_;
+    for (const Positional& pos : positionals_) os << " [" << pos.name << "]";
+    os << "\n";
+    for (const Positional& pos : positionals_)
+      os << "  " << pos.name << "  " << pos.help << "\n";
+  }
+
+  // Column where help text starts, aligned across all sections.
+  std::size_t width = 0;
+  for (const Option& opt : options_) {
+    std::size_t w = opt.name.size();
+    if (!opt.valueName.empty()) w += 1 + opt.valueName.size();
+    width = std::max(width, w);
+  }
+
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    bool any = false;
+    for (const Option& opt : options_) {
+      if (opt.sectionIndex != s) continue;
+      if (!any) {
+        os << "\n" << sections_[s] << ":\n";
+        any = true;
+      }
+      std::string left = opt.name;
+      if (!opt.valueName.empty()) left += " " + opt.valueName;
+      os << "  " << left;
+      for (std::size_t pad = left.size(); pad < width + 2; ++pad) os << ' ';
+      os << opt.help << "\n";
+    }
+  }
+  os << "\n  --help, -h" << std::string(width > 8 ? width - 8 : 2, ' ')
+     << "show this message\n";
+}
+
+}  // namespace sps::core

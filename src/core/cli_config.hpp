@@ -1,0 +1,144 @@
+// CliConfig — declarative command-line parsing shared by the tools and
+// examples.
+//
+// Replaces per-tool hand-rolled flag loops: a tool declares its flags once
+// (name, bound variable, help text), and CliConfig provides parsing,
+// numeric validation, unknown-flag/missing-value errors (InputError), and
+// generated --help text, all in one place.
+//
+//   CliOptions opt;
+//   core::CliConfig cli("sps_sim", "parallel job scheduling simulator");
+//   cli.section("Workload");
+//   cli.option("--preset", &opt.preset, "ctc|sdsc|kth", "synthetic preset");
+//   cli.option("--jobs", &opt.jobs, "N", "synthetic job count");
+//   cli.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
+//   if (cli.parse(argc, argv).helpRequested) { cli.printUsage(std::cout); return 0; }
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sps::core {
+
+namespace detail {
+
+/// Parse one scalar CLI value; throws InputError naming the flag on failure.
+template <typename T>
+T parseCliValue(const std::string& flag, const std::string& text) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return text;
+  } else if constexpr (std::is_floating_point_v<T>) {
+    T out{};
+    const char* end = text.data() + text.size();
+    const auto res = std::from_chars(text.data(), end, out);
+    if (res.ec != std::errc{} || res.ptr != end)
+      throw InputError("bad numeric value for " + flag + ": '" + text + "'");
+    return out;
+  } else {
+    static_assert(std::is_integral_v<T>);
+    T out{};
+    const char* end = text.data() + text.size();
+    const auto res = std::from_chars(text.data(), end, out);
+    if (res.ec == std::errc::result_out_of_range)
+      throw InputError("value out of range for " + flag + ": '" + text + "'");
+    if (res.ec != std::errc{} || res.ptr != end)
+      throw InputError("bad numeric value for " + flag + ": '" + text + "'");
+    return out;
+  }
+}
+
+}  // namespace detail
+
+class CliConfig {
+ public:
+  CliConfig(std::string program, std::string summary);
+
+  /// Start a usage section; subsequently declared options render under it.
+  void section(std::string heading);
+
+  /// Boolean switch: present => *target = true. No value.
+  void flag(std::string name, bool* target, std::string help);
+
+  /// Valued option bound to a scalar (string / integral / floating-point).
+  template <typename T>
+  void option(std::string name, T* target, std::string valueName,
+              std::string help) {
+    addOption(std::move(name), std::move(valueName), std::move(help),
+              [target](const std::string& flagName, const std::string& text) {
+                *target = detail::parseCliValue<T>(flagName, text);
+              });
+  }
+
+  /// Valued option bound to an optional scalar (absent = disengaged).
+  template <typename T>
+  void option(std::string name, std::optional<T>* target,
+              std::string valueName, std::string help) {
+    addOption(std::move(name), std::move(valueName), std::move(help),
+              [target](const std::string& flagName, const std::string& text) {
+                *target = detail::parseCliValue<T>(flagName, text);
+              });
+  }
+
+  /// Positional argument, filled in declaration order; optional if the tool
+  /// tolerates its default.
+  template <typename T>
+  void positional(std::string name, T* target, std::string help) {
+    addPositional(std::move(name), std::move(help),
+                  [target](const std::string& argName,
+                           const std::string& text) {
+                    *target = detail::parseCliValue<T>(argName, text);
+                  });
+  }
+
+  struct ParseOutcome {
+    bool helpRequested = false;
+  };
+
+  /// Parse argv. Handles --help/-h itself (sets helpRequested, stops).
+  /// Throws InputError on unknown flags, missing values, bad numbers, or
+  /// excess positionals.
+  ParseOutcome parse(int argc, const char* const* argv) const;
+
+  /// Generated usage text: summary, then sections of aligned options.
+  void printUsage(std::ostream& os) const;
+
+ private:
+  using Parser = std::function<void(const std::string&, const std::string&)>;
+
+  struct Option {
+    std::string name;
+    std::string valueName;  ///< empty for flags
+    std::string help;
+    std::size_t sectionIndex = 0;
+    Parser parse;       ///< null for flags
+    bool* flagTarget = nullptr;  ///< set for flags
+  };
+
+  struct Positional {
+    std::string name;
+    std::string help;
+    Parser parse;
+  };
+
+  void addOption(std::string name, std::string valueName, std::string help,
+                 Parser parse);
+  void addPositional(std::string name, std::string help, Parser parse);
+  [[nodiscard]] const Option* find(std::string_view name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<std::string> sections_;
+  std::vector<Option> options_;
+  std::vector<Positional> positionals_;
+};
+
+}  // namespace sps::core

@@ -1,30 +1,59 @@
 #include "core/experiment.hpp"
 
+#include <utility>
+
 #include "util/table.hpp"
 #include "workload/transforms.hpp"
 
 namespace sps::core {
 
 std::array<double, workload::kNumCategories16> bootstrapTssLimits(
+    Runner& runner, const workload::Trace& trace, double multiplier,
+    const SimulationOptions& options) {
+  RunRequest request;
+  request.trace = borrowTrace(trace);
+  request.spec.kind = PolicyKind::Easy;
+  request.options = options;
+  request.label = "TSS calibration (NS)";
+  const RunResult result = runner.runOne(request);
+  return metrics::tssLimits(result.stats.jobs, multiplier);
+}
+
+std::array<double, workload::kNumCategories16> bootstrapTssLimits(
     const workload::Trace& trace, double multiplier,
     const SimulationOptions& options) {
-  PolicySpec ns;
-  ns.kind = PolicyKind::Easy;
-  const metrics::RunStats stats = runSimulation(trace, ns, options);
-  return metrics::tssLimits(stats.jobs, multiplier);
+  Runner runner;
+  return bootstrapTssLimits(runner, trace, multiplier, options);
+}
+
+std::vector<metrics::RunStats> compareSchemes(
+    Runner& runner, const workload::Trace& trace,
+    const std::vector<PolicySpec>& specs, const SimulationOptions& options) {
+  const auto shared = borrowTrace(trace);
+  std::vector<RunRequest> batch;
+  batch.reserve(specs.size());
+  for (const PolicySpec& spec : specs) {
+    RunRequest request;
+    request.trace = shared;
+    request.spec = spec;
+    request.options = options;
+    batch.push_back(std::move(request));
+  }
+  std::vector<metrics::RunStats> runs;
+  runs.reserve(specs.size());
+  for (RunResult& result : runner.runAll(std::move(batch)))
+    runs.push_back(std::move(result.stats));
+  return runs;
 }
 
 std::vector<metrics::RunStats> compareSchemes(
     const workload::Trace& trace, const std::vector<PolicySpec>& specs,
     const SimulationOptions& options) {
-  std::vector<metrics::RunStats> runs;
-  runs.reserve(specs.size());
-  for (const PolicySpec& spec : specs)
-    runs.push_back(runSimulation(trace, spec, options));
-  return runs;
+  Runner runner;
+  return compareSchemes(runner, trace, specs, options);
 }
 
-std::vector<LoadPoint> loadSweep(const workload::Trace& trace,
+std::vector<LoadPoint> loadSweep(Runner& runner, const workload::Trace& trace,
                                  std::vector<PolicySpec> specs,
                                  const std::vector<double>& factors,
                                  bool calibrateTssFromBase,
@@ -35,22 +64,53 @@ std::vector<LoadPoint> loadSweep(const workload::Trace& trace,
       anyTss |= (s.kind == PolicyKind::SelectiveSuspension &&
                  s.ss.tssLimits.has_value());
     if (anyTss) {
-      const auto limits = bootstrapTssLimits(trace, 1.5, options);
+      const auto limits = bootstrapTssLimits(runner, trace, 1.5, options);
       for (PolicySpec& s : specs)
         if (s.kind == PolicyKind::SelectiveSuspension &&
             s.ss.tssLimits.has_value())
           s.ss.tssLimits = limits;
     }
   }
+
+  // One flat batch over the (factor, spec) grid; each factor's scaled trace
+  // is shared by that row of requests.
+  std::vector<RunRequest> batch;
+  batch.reserve(factors.size() * specs.size());
+  for (double f : factors) {
+    const auto scaled = shareTrace(workload::scaleLoad(trace, f));
+    for (const PolicySpec& spec : specs) {
+      RunRequest request;
+      request.trace = scaled;
+      request.spec = spec;
+      request.options = options;
+      request.label = policyLabel(spec) + " @ load x" + formatFixed(f, 2);
+      batch.push_back(std::move(request));
+    }
+  }
+  std::vector<RunResult> results = runner.runAll(std::move(batch));
+
   std::vector<LoadPoint> points;
   points.reserve(factors.size());
+  std::size_t next = 0;
   for (double f : factors) {
     LoadPoint p;
     p.loadFactor = f;
-    p.runs = compareSchemes(workload::scaleLoad(trace, f), specs, options);
+    p.runs.reserve(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s)
+      p.runs.push_back(std::move(results[next++].stats));
     points.push_back(std::move(p));
   }
   return points;
+}
+
+std::vector<LoadPoint> loadSweep(const workload::Trace& trace,
+                                 std::vector<PolicySpec> specs,
+                                 const std::vector<double>& factors,
+                                 bool calibrateTssFromBase,
+                                 const SimulationOptions& options) {
+  Runner runner;
+  return loadSweep(runner, trace, std::move(specs), factors,
+                   calibrateTssFromBase, options);
 }
 
 namespace {

@@ -1,9 +1,17 @@
 // Experiment helpers — the sweeps the evaluation section is built from.
+//
+// Each helper is a thin composition over core::Runner: it builds a batch of
+// RunRequests, executes them (concurrently when the Runner has threads), and
+// reshapes the ordered RunResults. Every overload without an explicit Runner
+// is the convenience layer: it uses a default Runner (one worker per
+// hardware thread) and produces results identical to the sequential
+// originals — see the determinism contract in runner.hpp.
 #pragma once
 
 #include <array>
 #include <vector>
 
+#include "core/runner.hpp"
 #include "core/simulation.hpp"
 #include "metrics/category_stats.hpp"
 
@@ -13,10 +21,18 @@ namespace sps::core {
 /// each category's victim-protection limit to `multiplier` x that category's
 /// average NS slowdown.
 [[nodiscard]] std::array<double, workload::kNumCategories16>
+bootstrapTssLimits(Runner& runner, const workload::Trace& trace,
+                   double multiplier = 1.5,
+                   const SimulationOptions& options = {});
+[[nodiscard]] std::array<double, workload::kNumCategories16>
 bootstrapTssLimits(const workload::Trace& trace, double multiplier = 1.5,
                    const SimulationOptions& options = {});
 
-/// Run every spec on the same trace.
+/// Run every spec on the same trace. One batch: |specs| runs.
+[[nodiscard]] std::vector<metrics::RunStats> compareSchemes(
+    Runner& runner, const workload::Trace& trace,
+    const std::vector<PolicySpec>& specs,
+    const SimulationOptions& options = {});
 [[nodiscard]] std::vector<metrics::RunStats> compareSchemes(
     const workload::Trace& trace, const std::vector<PolicySpec>& specs,
     const SimulationOptions& options = {});
@@ -28,11 +44,16 @@ struct LoadPoint {
 };
 
 /// Scale the trace to each load factor (Section VI transform) and run every
-/// spec at each point. When `calibrateTssFromBase` is set, TSS specs get
-/// their victim-protection limits from one NS run of the *unscaled* trace —
-/// the paper's Section IV-E calibration is a property of the normal-load
-/// workload, and re-deriving limits at every load point would inflate them
-/// until the protection disappears exactly where it matters most.
+/// spec at each point — one batch of |factors| x |specs| runs. When
+/// `calibrateTssFromBase` is set, TSS specs get their victim-protection
+/// limits from one NS run of the *unscaled* trace — the paper's Section IV-E
+/// calibration is a property of the normal-load workload, and re-deriving
+/// limits at every load point would inflate them until the protection
+/// disappears exactly where it matters most.
+[[nodiscard]] std::vector<LoadPoint> loadSweep(
+    Runner& runner, const workload::Trace& trace,
+    std::vector<PolicySpec> specs, const std::vector<double>& factors,
+    bool calibrateTssFromBase = true, const SimulationOptions& options = {});
 [[nodiscard]] std::vector<LoadPoint> loadSweep(
     const workload::Trace& trace, std::vector<PolicySpec> specs,
     const std::vector<double>& factors, bool calibrateTssFromBase = true,

@@ -1,11 +1,14 @@
 #include "core/replicate.hpp"
 
+#include <utility>
+
 #include "core/experiment.hpp"
 #include "util/check.hpp"
 
 namespace sps::core {
 
 std::vector<ReplicationResult> replicate(
+    Runner& runner,
     const std::function<workload::Trace(std::uint64_t)>& makeTrace,
     const std::vector<std::uint64_t>& seeds, std::vector<PolicySpec> specs,
     const SimulationOptions& options) {
@@ -16,24 +19,63 @@ std::vector<ReplicationResult> replicate(
   for (std::size_t p = 0; p < specs.size(); ++p)
     results[p].policyName = policyLabel(specs[p]);
 
-  for (const std::uint64_t seed : seeds) {
-    const workload::Trace trace = makeTrace(seed);
-    // Fresh TSS calibration per seed where engaged.
-    std::vector<PolicySpec> seedSpecs = specs;
-    bool anyTss = false;
-    for (const PolicySpec& s : seedSpecs)
-      anyTss |= (s.kind == PolicyKind::SelectiveSuspension &&
-                 s.ss.tssLimits.has_value());
-    if (anyTss) {
-      const auto limits = bootstrapTssLimits(trace, 1.5, options);
-      for (PolicySpec& s : seedSpecs)
-        if (s.kind == PolicyKind::SelectiveSuspension &&
-            s.ss.tssLimits.has_value())
-          s.ss.tssLimits = limits;
+  // Generate every seed's workload up front (makeTrace is caller code and
+  // need not be thread-safe, so it runs on this thread).
+  std::vector<std::shared_ptr<const workload::Trace>> traces;
+  traces.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) traces.push_back(shareTrace(makeTrace(seed)));
+
+  bool anyTss = false;
+  for (const PolicySpec& s : specs)
+    anyTss |= (s.kind == PolicyKind::SelectiveSuspension &&
+               s.ss.tssLimits.has_value());
+
+  // Stage 1 — TSS calibration where engaged: one NS run per seed, batched.
+  // Each seed is its own workload, so each gets its own NS reference.
+  std::vector<std::vector<PolicySpec>> seedSpecs(seeds.size(), specs);
+  if (anyTss) {
+    std::vector<RunRequest> calibration;
+    calibration.reserve(seeds.size());
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      RunRequest request;
+      request.trace = traces[s];
+      request.spec.kind = PolicyKind::Easy;
+      request.options = options;
+      request.seed = seeds[s];
+      request.label = "TSS calibration (NS)";
+      calibration.push_back(std::move(request));
     }
-    for (std::size_t p = 0; p < seedSpecs.size(); ++p) {
-      const metrics::RunStats stats =
-          runSimulation(trace, seedSpecs[p], options);
+    const std::vector<RunResult> nsRuns = runner.runAll(std::move(calibration));
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const auto limits = metrics::tssLimits(nsRuns[s].stats.jobs, 1.5);
+      for (PolicySpec& spec : seedSpecs[s])
+        if (spec.kind == PolicyKind::SelectiveSuspension &&
+            spec.ss.tssLimits.has_value())
+          spec.ss.tssLimits = limits;
+    }
+  }
+
+  // Stage 2 — the full seed x spec grid as one batch.
+  std::vector<RunRequest> batch;
+  batch.reserve(seeds.size() * specs.size());
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    for (const PolicySpec& spec : seedSpecs[s]) {
+      RunRequest request;
+      request.trace = traces[s];
+      request.spec = spec;
+      request.options = options;
+      request.seed = seeds[s];
+      batch.push_back(std::move(request));
+    }
+  }
+  const std::vector<RunResult> runs = runner.runAll(std::move(batch));
+
+  // Accumulate in seed-major order — the same sample order as the original
+  // sequential loop, so the floating-point aggregates match exactly.
+  std::size_t next = 0;
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      const metrics::RunStats& stats = runs[next++].stats;
       results[p].meanSlowdown.add(stats.meanBoundedSlowdown());
       results[p].meanTurnaround.add(stats.meanTurnaround());
       results[p].steadyUtilization.add(stats.steadyUtilization);
@@ -43,6 +85,14 @@ std::vector<ReplicationResult> replicate(
     }
   }
   return results;
+}
+
+std::vector<ReplicationResult> replicate(
+    const std::function<workload::Trace(std::uint64_t)>& makeTrace,
+    const std::vector<std::uint64_t>& seeds, std::vector<PolicySpec> specs,
+    const SimulationOptions& options) {
+  Runner runner;
+  return replicate(runner, makeTrace, seeds, std::move(specs), options);
 }
 
 Table replicationTable(const std::vector<ReplicationResult>& results) {

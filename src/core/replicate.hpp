@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/runner.hpp"
 #include "core/simulation.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -28,7 +29,15 @@ struct ReplicationResult {
 
 /// Run every spec over makeTrace(seed) for each seed. TSS specs with
 /// engaged static limits are re-calibrated per seed (each seed is its own
-/// workload, so each gets its own NS reference).
+/// workload, so each gets its own NS reference). Executes as two Runner
+/// batches — the per-seed NS calibration runs, then the full seed x spec
+/// grid — so replication parallelizes across seeds *and* schemes. makeTrace
+/// is always called on the calling thread.
+[[nodiscard]] std::vector<ReplicationResult> replicate(
+    Runner& runner,
+    const std::function<workload::Trace(std::uint64_t)>& makeTrace,
+    const std::vector<std::uint64_t>& seeds,
+    std::vector<PolicySpec> specs, const SimulationOptions& options = {});
 [[nodiscard]] std::vector<ReplicationResult> replicate(
     const std::function<workload::Trace(std::uint64_t)>& makeTrace,
     const std::vector<std::uint64_t>& seeds,

@@ -1,0 +1,124 @@
+#include "core/runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sps::core {
+
+std::shared_ptr<const workload::Trace> shareTrace(workload::Trace trace) {
+  return std::make_shared<const workload::Trace>(std::move(trace));
+}
+
+std::shared_ptr<const workload::Trace> borrowTrace(
+    const workload::Trace& trace) {
+  // Aliasing constructor: shared_ptr interface, no ownership.
+  return std::shared_ptr<const workload::Trace>(
+      std::shared_ptr<const workload::Trace>(), &trace);
+}
+
+Runner::Runner() : Runner(Config{}) {}
+
+Runner::Runner(Config config)
+    : threads_(config.threads == 0 ? util::ThreadPool::defaultThreadCount()
+                                   : config.threads) {}
+
+Runner::~Runner() = default;
+
+void Runner::onRunComplete(RunCompleteHook hook) { hook_ = std::move(hook); }
+
+RunResult Runner::execute(const RunRequest& request, std::size_t index) {
+  SPS_CHECK_MSG(request.trace != nullptr,
+                "RunRequest " << index << " has no trace");
+  RunResult result;
+  result.index = index;
+  result.seed = request.seed;
+  result.label =
+      request.label.empty() ? policyLabel(request.spec) : request.label;
+  const auto start = std::chrono::steady_clock::now();
+  result.stats = runSimulation(*request.trace, request.spec, request.options);
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.policyName = result.stats.policyName;
+  result.traceName = result.stats.traceName;
+  return result;
+}
+
+void Runner::notify(const RunResult& result) {
+  if (!hook_) return;
+  std::lock_guard<std::mutex> lock(hookMutex_);
+  hook_(result);
+}
+
+RunResult Runner::runOne(const RunRequest& request) {
+  RunResult result = execute(request, 0);
+  notify(result);
+  return result;
+}
+
+std::vector<RunResult> Runner::runAll(std::vector<RunRequest> requests) {
+  std::vector<RunResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  // Inline path: one thread, or nothing to overlap.
+  if (threads_ == 1 || requests.size() == 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      results[i] = execute(requests[i], i);
+      notify(results[i]);
+    }
+    return results;
+  }
+
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  std::vector<std::future<void>> futures;
+  futures.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(pool_->submit([this, &requests, &results, i] {
+      results[i] = execute(requests[i], i);
+      notify(results[i]);
+    }));
+  }
+  // Drain the whole batch before surfacing any failure: results/requests
+  // live on this stack frame, so no task may outlive this scope.
+  for (std::future<void>& f : futures) f.wait();
+  // Rethrow the lowest-index failure so error reporting is deterministic.
+  for (std::future<void>& f : futures) f.get();
+  return results;
+}
+
+void writeRunResultsJson(std::ostream& os,
+                         const std::vector<RunResult>& results,
+                         const metrics::JsonOptions& options) {
+  metrics::JsonWriter w(os, options.indent);
+  w.beginObject()
+      .field("schemaVersion", std::int64_t{1})
+      .field("runCount", static_cast<std::uint64_t>(results.size()));
+  w.key("results").beginArray();
+  for (const RunResult& r : results) {
+    w.beginObject()
+        .field("index", static_cast<std::uint64_t>(r.index))
+        .field("label", r.label)
+        .field("seed", r.seed)
+        .field("policy", r.policyName)
+        .field("trace", r.traceName)
+        .field("wallSeconds", r.wallSeconds);
+    w.key("stats");
+    metrics::writeRunStatsJson(w, r.stats, options);
+    w.endObject();
+  }
+  w.endArray().endObject();
+}
+
+std::string runResultsJson(const std::vector<RunResult>& results,
+                           const metrics::JsonOptions& options) {
+  std::ostringstream os;
+  writeRunResultsJson(os, results, options);
+  return os.str();
+}
+
+}  // namespace sps::core

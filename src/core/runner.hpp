@@ -1,0 +1,128 @@
+// Runner — the parallel experiment engine.
+//
+// Every figure and table in the paper's evaluation is a batch of independent,
+// deterministic simulations. The Runner is the one seam through which such
+// batches execute: describe each run as a RunRequest, hand the batch to
+// runAll(), and get back one RunResult per request, ordered by request index
+// and bit-for-bit identical for any thread count.
+//
+//   core::Runner runner({.threads = 8});
+//   std::vector<core::RunRequest> batch;
+//   for (const auto& spec : core::ssSchemeSet())
+//     batch.push_back({trace, spec});
+//   auto results = runner.runAll(std::move(batch));
+//
+// The convenience free functions (compareSchemes, loadSweep, replicate,
+// bootstrapTssLimits) are thin compositions over this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "metrics/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sps::core {
+
+/// One simulation to run: trace + policy + options, plus bookkeeping fields
+/// that are echoed untouched into the RunResult so batch builders can tag
+/// runs (sweep coordinates, seeds) without side tables.
+struct RunRequest {
+  /// Shared so a batch can reference one trace from many requests and the
+  /// trace safely outlives the calling scope. Use shareTrace()/borrowTrace().
+  std::shared_ptr<const workload::Trace> trace;
+  PolicySpec spec;
+  SimulationOptions options{};
+  /// Echoed into RunResult::seed — the workload seed, by convention.
+  std::uint64_t seed = 0;
+  /// Echoed into RunResult::label; empty = policyLabel(spec).
+  std::string label;
+};
+
+/// Take ownership of a trace and share it between requests.
+[[nodiscard]] std::shared_ptr<const workload::Trace> shareTrace(
+    workload::Trace trace);
+
+/// Non-owning view of a caller-owned trace (must outlive the runs).
+[[nodiscard]] std::shared_ptr<const workload::Trace> borrowTrace(
+    const workload::Trace& trace);
+
+/// Outcome of one request: the collected stats plus request echo and timing.
+struct RunResult {
+  std::size_t index = 0;  ///< position in the submitted batch
+  std::string policyName;
+  std::string traceName;
+  std::uint64_t seed = 0;  ///< RunRequest::seed, echoed
+  std::string label;       ///< RunRequest::label, or policyLabel(spec)
+  double wallSeconds = 0.0;  ///< wall-clock time of this simulation
+  metrics::RunStats stats;
+};
+
+/// Executes batches of simulations on a fixed-size thread pool.
+///
+/// Determinism contract: RunResult::stats depends only on the request (the
+/// simulations share no mutable state), results come back ordered by request
+/// index, and a failing run rethrows the lowest-index exception — so any
+/// thread count produces identical outcomes. Only wallSeconds and the
+/// onRunComplete callback order vary run to run.
+class Runner {
+ public:
+  struct Config {
+    /// Worker threads; 0 = one per hardware thread. 1 runs inline on the
+    /// calling thread (no pool).
+    std::size_t threads = 0;
+  };
+
+  /// Progress hook, called once per finished run in *completion* order
+  /// (not index order). Invocations are serialized; the hook needs no
+  /// internal locking.
+  using RunCompleteHook = std::function<void(const RunResult&)>;
+
+  Runner();  ///< default Config
+  explicit Runner(Config config);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  [[nodiscard]] std::size_t threadCount() const { return threads_; }
+
+  void onRunComplete(RunCompleteHook hook);
+
+  /// Run the whole batch; blocks until every run finished. Results are
+  /// ordered by request index. Throws the first (by index) run's exception
+  /// after the batch has drained.
+  [[nodiscard]] std::vector<RunResult> runAll(
+      std::vector<RunRequest> requests);
+
+  /// Run one request inline on the calling thread.
+  [[nodiscard]] RunResult runOne(const RunRequest& request);
+
+ private:
+  [[nodiscard]] RunResult execute(const RunRequest& request,
+                                  std::size_t index);
+  void notify(const RunResult& result);
+
+  std::size_t threads_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< lazily created on first batch
+  RunCompleteHook hook_;
+  std::mutex hookMutex_;  ///< serializes hook invocations across workers
+};
+
+/// JSON export of result batches, for the bench harness and sps_sim --json.
+/// Schema: {"schemaVersion":1,"results":[{index,label,seed,policy,trace,
+/// wallSeconds,stats:{...metrics::writeRunStatsJson...}},...]}.
+void writeRunResultsJson(std::ostream& os,
+                         const std::vector<RunResult>& results,
+                         const metrics::JsonOptions& options = {});
+[[nodiscard]] std::string runResultsJson(
+    const std::vector<RunResult>& results,
+    const metrics::JsonOptions& options = {});
+
+}  // namespace sps::core

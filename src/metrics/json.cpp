@@ -1,0 +1,187 @@
+#include "metrics/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sps::metrics {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {
+  SPS_CHECK(indent >= 0);
+}
+
+void JsonWriter::newlineIndent() {
+  if (indent_ == 0) return;
+  os_ << '\n';
+  for (int i = 0; i < depth_ * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::separate() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // the key already placed the comma and indentation
+  }
+  if (!firstInScope_) os_ << ',';
+  if (depth_ > 0) newlineIndent();
+  firstInScope_ = false;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  separate();
+  os_ << '{';
+  ++depth_;
+  firstInScope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  SPS_CHECK(depth_ > 0 && !pendingKey_);
+  --depth_;
+  if (!firstInScope_) newlineIndent();
+  os_ << '}';
+  firstInScope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  separate();
+  os_ << '[';
+  ++depth_;
+  firstInScope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  SPS_CHECK(depth_ > 0 && !pendingKey_);
+  --depth_;
+  if (!firstInScope_) newlineIndent();
+  os_ << ']';
+  firstInScope_ = false;
+  return *this;
+}
+
+namespace {
+void writeEscaped(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  SPS_CHECK_MSG(!pendingKey_, "two keys in a row");
+  separate();
+  writeEscaped(os_, name);
+  os_ << (indent_ == 0 ? ":" : ": ");
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  writeEscaped(os_, text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  if (!std::isfinite(number)) {
+    os_ << "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  // Shortest round-trip representation: what you parse is bit-for-bit what
+  // was serialized.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, number);
+  os_ << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  os_ << (flag ? "true" : "false");
+  return *this;
+}
+
+void writeJobResultJson(JsonWriter& w, const JobResult& job) {
+  w.beginObject()
+      .field("id", static_cast<std::uint64_t>(job.id))
+      .field("submit", job.submit)
+      .field("runtime", job.runtime)
+      .field("estimate", job.estimate)
+      .field("procs", static_cast<std::uint64_t>(job.procs))
+      .field("firstStart", job.firstStart)
+      .field("finish", job.finish)
+      .field("suspendCount", static_cast<std::uint64_t>(job.suspendCount))
+      .field("overheadTotal", job.overheadTotal)
+      .endObject();
+}
+
+void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
+                       const JsonOptions& options) {
+  w.beginObject()
+      .field("policy", stats.policyName)
+      .field("trace", stats.traceName)
+      .field("jobCount", static_cast<std::uint64_t>(stats.jobs.size()))
+      .field("meanBoundedSlowdown", stats.meanBoundedSlowdown())
+      .field("meanTurnaround", stats.meanTurnaround())
+      .field("utilization", stats.utilization)
+      .field("usefulUtilization", stats.usefulUtilization)
+      .field("steadyUtilization", stats.steadyUtilization)
+      .field("span", stats.span)
+      .field("suspensions", stats.suspensions)
+      .field("eventsProcessed", stats.eventsProcessed);
+  if (options.includeJobs) {
+    w.key("jobs").beginArray();
+    for (const JobResult& job : stats.jobs) writeJobResultJson(w, job);
+    w.endArray();
+  }
+  w.endObject();
+}
+
+void writeRunStatsJson(std::ostream& os, const RunStats& stats,
+                       const JsonOptions& options) {
+  JsonWriter w(os, options.indent);
+  writeRunStatsJson(w, stats, options);
+}
+
+std::string runStatsJson(const RunStats& stats, const JsonOptions& options) {
+  std::ostringstream os;
+  writeRunStatsJson(os, stats, options);
+  return os.str();
+}
+
+}  // namespace sps::metrics

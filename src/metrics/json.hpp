@@ -1,0 +1,76 @@
+// JSON serialization of run metrics — the machine-readable sibling of the
+// util::Table renderers, used by the bench harness and sps_sim --json.
+//
+// The emitted numbers round-trip exactly (shortest-form std::to_chars for
+// doubles, plain decimal for integers), so two RunStats are bit-for-bit
+// identical iff their JSON strings are byte-identical. The determinism tests
+// lean on that property.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/collector.hpp"
+
+namespace sps::metrics {
+
+struct JsonOptions {
+  /// Emit the per-job results array (can be large: one record per job).
+  bool includeJobs = true;
+  /// Spaces per nesting level; 0 = compact single-line output.
+  int indent = 2;
+};
+
+/// Minimal streaming JSON writer: tracks nesting and comma placement so
+/// callers only state structure. Strings are escaped per RFC 8259; doubles
+/// use shortest round-trip form; non-finite doubles become null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Object key; must be followed by a value or begin*().
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void separate();  ///< comma/newline/indent bookkeeping before an element
+  void newlineIndent();
+
+  std::ostream& os_;
+  int indent_;
+  int depth_ = 0;
+  bool firstInScope_ = true;
+  bool pendingKey_ = false;
+};
+
+void writeJobResultJson(JsonWriter& w, const JobResult& job);
+void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
+                       const JsonOptions& options = {});
+
+void writeRunStatsJson(std::ostream& os, const RunStats& stats,
+                       const JsonOptions& options = {});
+[[nodiscard]] std::string runStatsJson(const RunStats& stats,
+                                       const JsonOptions& options = {});
+
+}  // namespace sps::metrics

@@ -1,15 +1,23 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace sps {
 
 namespace {
-LogLevel g_level = LogLevel::Warning;
+// Atomic + serialized emission: simulations run concurrently under
+// core::Runner, and the logger is the one piece of state they all share.
+std::atomic<LogLevel> g_level{LogLevel::Warning};
+std::mutex g_emitMutex;
+}  // namespace
+
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
 }
 
-void setLogLevel(LogLevel level) { g_level = level; }
-LogLevel logLevel() { return g_level; }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 
 const char* logLevelName(LogLevel level) {
   switch (level) {
@@ -25,6 +33,7 @@ const char* logLevelName(LogLevel level) {
 
 namespace detail {
 void emitLog(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emitMutex);
   std::cerr << '[' << logLevelName(level) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -10,8 +10,10 @@ namespace sps {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warning = 3, Error = 4, Off = 5 };
 
-/// Global log threshold. Not thread-safe by design: the simulator is
-/// single-threaded per instance and the threshold is set once at startup.
+/// Global log threshold. Thread-safe: the threshold is atomic and message
+/// emission is serialized, so simulations running concurrently on a
+/// core::Runner can log without racing (each Simulator instance itself
+/// remains single-threaded).
 void setLogLevel(LogLevel level);
 [[nodiscard]] LogLevel logLevel();
 

@@ -1,0 +1,54 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sps::util {
+
+std::size_t ThreadPool::defaultThreadCount() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = defaultThreadCount();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SPS_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+    tasks_.push(std::move(task));
+  }
+  available_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      // Drain the queue before honouring shutdown so every submitted task's
+      // future is eventually satisfied.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions are captured by the packaged_task
+  }
+}
+
+}  // namespace sps::util

@@ -1,0 +1,66 @@
+// Fixed-size thread pool — the execution substrate of core::Runner.
+//
+// Deliberately minimal: a FIFO task queue drained by N worker threads, no
+// work stealing, no priorities. Simulations are coarse-grained (milliseconds
+// to seconds each), so a single locked queue is nowhere near contended and
+// keeps the scheduling order easy to reason about. Results/exceptions travel
+// through std::future, so a caller that waits on futures in submission order
+// observes failures deterministically regardless of completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sps::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means one worker per hardware thread (at least one).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Blocks until every queued task has run, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// max(1, std::thread::hardware_concurrency()) — what `threads == 0`
+  /// resolves to.
+  [[nodiscard]] static std::size_t defaultThreadCount();
+
+  /// Enqueue a nullary callable. The returned future carries the result, or
+  /// rethrows whatever the task threw. Submitting to a destroyed pool is a
+  /// caller bug (InvariantError).
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable available_;
+  bool stopping_ = false;
+};
+
+}  // namespace sps::util

@@ -1,0 +1,155 @@
+// Unit tests: core::CliConfig — flag/option/positional parsing, validation
+// errors, help, and usage generation.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli_config.hpp"
+
+namespace sps::core {
+namespace {
+
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : strings(std::move(args)) {
+    pointers.push_back("prog");
+    for (const std::string& s : strings) pointers.push_back(s.c_str());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(pointers.size()); }
+  [[nodiscard]] const char* const* argv() const { return pointers.data(); }
+  std::vector<std::string> strings;
+  std::vector<const char*> pointers;
+};
+
+struct Bound {
+  std::string preset = "sdsc";
+  std::size_t jobs = 10000;
+  double sf = 2.0;
+  std::optional<double> load;
+  bool csv = false;
+};
+
+CliConfig makeCli(Bound& b) {
+  CliConfig cli("tool", "test tool");
+  cli.section("Workload");
+  cli.option("--preset", &b.preset, "NAME", "preset name");
+  cli.option("--jobs", &b.jobs, "N", "job count");
+  cli.option("--load", &b.load, "F", "offered load");
+  cli.section("Scheduler");
+  cli.option("--sf", &b.sf, "F", "suspension factor");
+  cli.flag("--csv", &b.csv, "CSV output");
+  return cli;
+}
+
+TEST(CliConfig, ParsesEveryKind) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  const Argv args({"--preset", "ctc", "--jobs", "500", "--sf", "1.5",
+                   "--load", "0.9", "--csv"});
+  const auto outcome = cli.parse(args.argc(), args.argv());
+  EXPECT_FALSE(outcome.helpRequested);
+  EXPECT_EQ(b.preset, "ctc");
+  EXPECT_EQ(b.jobs, 500u);
+  EXPECT_DOUBLE_EQ(b.sf, 1.5);
+  ASSERT_TRUE(b.load.has_value());
+  EXPECT_DOUBLE_EQ(*b.load, 0.9);
+  EXPECT_TRUE(b.csv);
+}
+
+TEST(CliConfig, DefaultsSurviveNoArgs) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  const Argv args({});
+  (void)cli.parse(args.argc(), args.argv());
+  EXPECT_EQ(b.preset, "sdsc");
+  EXPECT_EQ(b.jobs, 10000u);
+  EXPECT_FALSE(b.load.has_value());
+  EXPECT_FALSE(b.csv);
+}
+
+TEST(CliConfig, HelpRequested) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  for (const char* flag : {"--help", "-h"}) {
+    const Argv args({flag});
+    EXPECT_TRUE(cli.parse(args.argc(), args.argv()).helpRequested);
+  }
+}
+
+TEST(CliConfig, RejectsUnknownFlag) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  const Argv args({"--nope"});
+  EXPECT_THROW((void)cli.parse(args.argc(), args.argv()), InputError);
+}
+
+TEST(CliConfig, RejectsMissingValue) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  const Argv args({"--jobs"});
+  EXPECT_THROW((void)cli.parse(args.argc(), args.argv()), InputError);
+}
+
+TEST(CliConfig, RejectsBadNumbers) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  for (auto badArgs : {std::vector<std::string>{"--jobs", "many"},
+                       std::vector<std::string>{"--sf", "fast"},
+                       std::vector<std::string>{"--jobs", "12x"}}) {
+    const Argv args(badArgs);
+    EXPECT_THROW((void)cli.parse(args.argc(), args.argv()), InputError);
+  }
+}
+
+TEST(CliConfig, RejectsOutOfRange) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  const Argv args({"--jobs", "99999999999999999999999999"});
+  EXPECT_THROW((void)cli.parse(args.argc(), args.argv()), InputError);
+}
+
+TEST(CliConfig, Positionals) {
+  std::size_t jobs = 4000;
+  std::string machine = "sdsc";
+  CliConfig cli("tool", "positional test");
+  cli.positional("jobs", &jobs, "job count");
+  cli.positional("machine", &machine, "machine name");
+  const Argv args({"123", "ctc"});
+  (void)cli.parse(args.argc(), args.argv());
+  EXPECT_EQ(jobs, 123u);
+  EXPECT_EQ(machine, "ctc");
+
+  const Argv extra({"1", "ctc", "surplus"});
+  EXPECT_THROW((void)cli.parse(extra.argc(), extra.argv()), InputError);
+}
+
+TEST(CliConfig, PositionalsMixWithFlags) {
+  std::size_t jobs = 0;
+  bool csv = false;
+  CliConfig cli("tool", "mix test");
+  cli.positional("jobs", &jobs, "job count");
+  cli.flag("--csv", &csv, "CSV output");
+  const Argv args({"--csv", "77"});
+  (void)cli.parse(args.argc(), args.argv());
+  EXPECT_EQ(jobs, 77u);
+  EXPECT_TRUE(csv);
+}
+
+TEST(CliConfig, UsageListsSectionsOptionsAndHelp) {
+  Bound b;
+  CliConfig cli = makeCli(b);
+  std::ostringstream os;
+  cli.printUsage(os);
+  const std::string usage = os.str();
+  EXPECT_NE(usage.find("tool — test tool"), std::string::npos);
+  EXPECT_NE(usage.find("Workload:"), std::string::npos);
+  EXPECT_NE(usage.find("Scheduler:"), std::string::npos);
+  EXPECT_NE(usage.find("--preset NAME"), std::string::npos);
+  EXPECT_NE(usage.find("suspension factor"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sps::core

@@ -1,0 +1,109 @@
+// Unit tests: metrics JSON serialization — writer structure, escaping,
+// number round-tripping, RunStats schema.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/simulation.hpp"
+#include "helpers.hpp"
+#include "metrics/json.hpp"
+#include "workload/synthetic.hpp"
+
+namespace sps::metrics {
+namespace {
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.beginObject()
+      .field("name", "x")
+      .field("n", std::int64_t{3})
+      .key("list")
+      .beginArray()
+      .value(std::int64_t{1})
+      .value(std::int64_t{2})
+      .endArray()
+      .endObject();
+  EXPECT_EQ(os.str(), R"({"name":"x","n":3,"list":[1,2]})");
+}
+
+TEST(JsonWriter, IndentedOutput) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.beginObject().field("a", std::int64_t{1}).endObject();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.value("quote\" slash\\ tab\t nl\n ctrl\x01");
+  EXPECT_EQ(os.str(), R"("quote\" slash\\ tab\t nl\n ctrl\u0001")");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  for (double x : {0.1, 1.0 / 3.0, 12345.6789, 1e-300, -2.5}) {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.value(x);
+    EXPECT_EQ(std::stod(os.str()), x) << os.str();
+  }
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.beginArray()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::nan(""))
+      .endArray();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.beginObject().key("a").beginArray().endArray().endObject();
+  EXPECT_EQ(os.str(), "{\n  \"a\": []\n}");
+}
+
+TEST(RunStatsJson, ContainsSchemaFields) {
+  const auto trace = test::makeTrace(8, {{0, 100, 4}, {10, 50, 2}});
+  core::PolicySpec spec;
+  spec.kind = core::PolicyKind::Easy;
+  const RunStats stats = core::runSimulation(trace, spec);
+  const std::string json = runStatsJson(stats);
+  for (const char* field :
+       {"\"policy\"", "\"trace\"", "\"jobCount\": 2", "\"meanBoundedSlowdown\"",
+        "\"meanTurnaround\"", "\"utilization\"", "\"steadyUtilization\"",
+        "\"span\"", "\"suspensions\"", "\"eventsProcessed\"", "\"jobs\"",
+        "\"suspendCount\"", "\"firstStart\""})
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+}
+
+TEST(RunStatsJson, IncludeJobsOff) {
+  const auto trace = test::makeTrace(8, {{0, 100, 4}});
+  core::PolicySpec spec;
+  spec.kind = core::PolicyKind::Easy;
+  const RunStats stats = core::runSimulation(trace, spec);
+  JsonOptions options;
+  options.includeJobs = false;
+  const std::string json = runStatsJson(stats, options);
+  EXPECT_EQ(json.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobCount\": 1"), std::string::npos);
+}
+
+TEST(RunStatsJson, EqualStatsHaveEqualJson) {
+  const auto trace =
+      workload::generateTrace(workload::sdscConfig(120, 9));
+  core::PolicySpec spec;
+  spec.kind = core::PolicyKind::SelectiveSuspension;
+  const RunStats a = core::runSimulation(trace, spec);
+  const RunStats b = core::runSimulation(trace, spec);
+  EXPECT_EQ(runStatsJson(a), runStatsJson(b));
+}
+
+}  // namespace
+}  // namespace sps::metrics

@@ -1,0 +1,114 @@
+// Unit tests: util::ThreadPool — task execution, exception propagation,
+// shutdown draining, oversubscription.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sps::util {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), ThreadPool::defaultThreadCount());
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, RunsEveryTaskManyMoreTasksThanThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ReturnsTaskValues) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 41 + 1; });
+  auto f2 = pool.submit([] { return std::string("hello"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "hello");
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, OneFailureDoesNotPoisonOtherTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([&counter, i] {
+      if (i == 5) throw std::logic_error("boom");
+      ++counter;
+    }));
+  }
+  int failures = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::logic_error&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(counter.load(), 19);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);  // single worker: tasks queue up behind the sleeper
+    futures.push_back(pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }));
+    for (int i = 0; i < 10; ++i)
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+  }  // ~ThreadPool must run all 10 queued increments before joining
+  EXPECT_EQ(counter.load(), 10);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  std::mutex futuresMutex;
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto f = pool.submit([&counter] { ++counter; });
+        std::lock_guard<std::mutex> lock(futuresMutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+}  // namespace
+}  // namespace sps::util

@@ -7,16 +7,21 @@
 //   sps_sim --trace CTC-SP2-1996-3.1-cln.swf --procs 430 --policy tss
 //   sps_sim --preset ctc --policy gang --gang-slots 3 --overhead --worst
 //   sps_sim --preset kth --load-factor 1.3 --policy easy --csv
+//   sps_sim --preset sdsc --compare --threads 8 --json
 //
-// Everything is deterministic in --seed.
+// Everything is deterministic in --seed (independent of --threads).
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cli_config.hpp"
 #include "core/experiment.hpp"
+#include "core/figures.hpp"
+#include "core/runner.hpp"
 #include "core/simulation.hpp"
+#include "metrics/json.hpp"
 #include "metrics/report.hpp"
 #include "sched/overhead.hpp"
 #include "util/table.hpp"
@@ -38,112 +43,71 @@ struct CliOptions {
   std::uint64_t seed = 42;
   std::optional<double> load;
   double loadFactor = 1.0;
+  std::string estimates = "accurate";
   std::string policy = "ss";
   double sf = 2.0;
-  std::string estimates = "accurate";
   bool overhead = false;
   std::size_t gangSlots = 4;
   Time gangQuantum = 600;
   std::size_t depth = 2;
+  bool compare = false;
+  std::size_t threads = 0;
+  bool json = false;
   bool csv = false;
   bool worst = false;
   bool summaryOnly = false;
 };
 
-void printUsage(std::ostream& os) {
-  os << R"(sps_sim — parallel job scheduling simulator
-(Kettimuthu et al., "Selective Preemption Strategies for Parallel Job
-Scheduling", reproduced in C++20)
-
-Workload (choose one):
-  --trace FILE --procs N     Standard Workload Format log on an N-processor
-                             machine
-  --preset ctc|sdsc|kth      calibrated synthetic workload (default: sdsc)
-      --jobs N               synthetic job count        (default: 10000)
-      --seed S               RNG seed                   (default: 42)
-      --load F               offered-load override      (default: preset)
-  --load-factor F            divide arrival times by F  (Section VI)
-  --estimates MODEL          accurate | modal | uniform (Section V)
-
-Scheduler:
-  --policy NAME              fcfs | conservative | easy | sjf | ss | tss |
-                             tss-online | is | gang | depth  (default: ss)
-      --sf F                 suspension factor for ss/tss (default: 2)
-      --gang-slots N         gang multiprogramming level (default: 4)
-      --gang-quantum SEC     gang time slice             (default: 600)
-      --depth K              reservation depth for depth  (default: 2)
-  --overhead                 2 MB/s disk-swap suspension cost (Section V-A)
-
-Output:
-  --csv                      CSV tables instead of aligned ASCII
-  --worst                    also print worst-case grids
-  --summary-only             one-line summary, no grids
-  --help
-)";
+core::CliConfig makeCli(CliOptions& opt) {
+  core::CliConfig cli(
+      "sps_sim",
+      "parallel job scheduling simulator\n(Kettimuthu et al., \"Selective "
+      "Preemption Strategies for Parallel Job\nScheduling\", reproduced in "
+      "C++20)");
+  cli.section("Workload (choose one)");
+  cli.option("--trace", &opt.traceFile, "FILE",
+             "Standard Workload Format log (requires --procs)");
+  cli.option("--procs", &opt.procs, "N", "machine size for --trace");
+  cli.option("--preset", &opt.preset, "ctc|sdsc|kth",
+             "calibrated synthetic workload (default: sdsc)");
+  cli.option("--jobs", &opt.jobs, "N", "synthetic job count (default: 10000)");
+  cli.option("--seed", &opt.seed, "S", "RNG seed (default: 42)");
+  cli.option("--load", &opt.load, "F", "offered-load override (default: preset)");
+  cli.option("--load-factor", &opt.loadFactor, "F",
+             "divide arrival times by F (Section VI)");
+  cli.option("--estimates", &opt.estimates, "MODEL",
+             "accurate | modal | uniform (Section V)");
+  cli.section("Scheduler");
+  cli.option("--policy", &opt.policy, "NAME",
+             "fcfs | conservative | easy | sjf | ss | tss | tss-online | is | "
+             "gang | depth (default: ss)");
+  cli.option("--sf", &opt.sf, "F", "suspension factor for ss/tss (default: 2)");
+  cli.option("--gang-slots", &opt.gangSlots, "N",
+             "gang multiprogramming level (default: 4)");
+  cli.option("--gang-quantum", &opt.gangQuantum, "SEC",
+             "gang time slice (default: 600)");
+  cli.option("--depth", &opt.depth, "K",
+             "reservation depth for depth (default: 2)");
+  cli.flag("--overhead", &opt.overhead,
+           "2 MB/s disk-swap suspension cost (Section V-A)");
+  cli.section("Execution");
+  cli.flag("--compare", &opt.compare,
+           "run the paper's scheme set (SS 1.5/2/5, NS, IS; TSS when "
+           "--policy tss) instead of one policy");
+  cli.option("--threads", &opt.threads, "N",
+             "worker threads for --compare (0 = all hardware threads)");
+  cli.section("Output");
+  cli.flag("--json", &opt.json, "machine-readable RunResult JSON on stdout");
+  cli.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
+  cli.flag("--worst", &opt.worst, "also print worst-case grids");
+  cli.flag("--summary-only", &opt.summaryOnly,
+           "one-line summary, no grids");
+  return cli;
 }
 
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "sps_sim: " << message << "\n(--help for usage)\n";
   std::exit(2);
-}
-
-CliOptions parseArgs(int argc, char** argv) {
-  CliOptions opt;
-  std::vector<std::string> args(argv + 1, argv + argc);
-  auto next = [&](std::size_t& i, const std::string& flag) -> std::string {
-    if (i + 1 >= args.size()) fail(flag + " requires a value");
-    return args[++i];
-  };
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string& a = args[i];
-    try {
-      if (a == "--help" || a == "-h") {
-        printUsage(std::cout);
-        std::exit(0);
-      } else if (a == "--trace") {
-        opt.traceFile = next(i, a);
-      } else if (a == "--procs") {
-        opt.procs = static_cast<std::uint32_t>(std::stoul(next(i, a)));
-      } else if (a == "--preset") {
-        opt.preset = next(i, a);
-      } else if (a == "--jobs") {
-        opt.jobs = std::stoul(next(i, a));
-      } else if (a == "--seed") {
-        opt.seed = std::stoull(next(i, a));
-      } else if (a == "--load") {
-        opt.load = std::stod(next(i, a));
-      } else if (a == "--load-factor") {
-        opt.loadFactor = std::stod(next(i, a));
-      } else if (a == "--policy") {
-        opt.policy = next(i, a);
-      } else if (a == "--sf") {
-        opt.sf = std::stod(next(i, a));
-      } else if (a == "--estimates") {
-        opt.estimates = next(i, a);
-      } else if (a == "--overhead") {
-        opt.overhead = true;
-      } else if (a == "--gang-slots") {
-        opt.gangSlots = std::stoul(next(i, a));
-      } else if (a == "--gang-quantum") {
-        opt.gangQuantum = std::stol(next(i, a));
-      } else if (a == "--depth") {
-        opt.depth = std::stoul(next(i, a));
-      } else if (a == "--csv") {
-        opt.csv = true;
-      } else if (a == "--worst") {
-        opt.worst = true;
-      } else if (a == "--summary-only") {
-        opt.summaryOnly = true;
-      } else {
-        fail("unknown option: " + a);
-      }
-    } catch (const std::invalid_argument&) {
-      fail("bad numeric value for " + a);
-    } catch (const std::out_of_range&) {
-      fail("value out of range for " + a);
-    }
-  }
-  return opt;
 }
 
 workload::Trace buildWorkload(const CliOptions& opt) {
@@ -189,7 +153,7 @@ workload::Trace buildWorkload(const CliOptions& opt) {
   return trace;
 }
 
-core::PolicySpec buildPolicy(const CliOptions& opt,
+core::PolicySpec buildPolicy(const CliOptions& opt, core::Runner& runner,
                              const workload::Trace& trace) {
   core::PolicySpec spec;
   if (opt.policy == "fcfs") {
@@ -208,7 +172,7 @@ core::PolicySpec buildPolicy(const CliOptions& opt,
     spec.kind = core::PolicyKind::SelectiveSuspension;
     spec.ss.suspensionFactor = opt.sf;
     std::cerr << "calibrating TSS limits from an NS run...\n";
-    spec.ss.tssLimits = core::bootstrapTssLimits(trace);
+    spec.ss.tssLimits = core::bootstrapTssLimits(runner, trace);
   } else if (opt.policy == "tss-online") {
     spec.kind = core::PolicyKind::SelectiveSuspension;
     spec.ss.suspensionFactor = opt.sf;
@@ -233,13 +197,92 @@ void printTable(const Table& table, bool csv) {
   else table.printAscii(std::cout);
 }
 
+void printRunGrids(const metrics::RunStats& stats, const CliOptions& opt) {
+  const auto cat = metrics::categorize16(stats.jobs);
+  std::cout << "\nAverage bounded slowdown by category:\n";
+  printTable(metrics::categoryGrid16(cat, metrics::Metric::AvgSlowdown),
+             opt.csv);
+  std::cout << "\nAverage turnaround time (s) by category:\n";
+  printTable(metrics::categoryGrid16(cat, metrics::Metric::AvgTurnaround, 0),
+             opt.csv);
+  if (opt.worst) {
+    std::cout << "\np95 slowdown by category:\n";
+    printTable(metrics::categoryGrid16(cat, metrics::Metric::P95Slowdown),
+               opt.csv);
+    std::cout << "\nWorst-case slowdown by category:\n";
+    printTable(metrics::categoryGrid16(cat, metrics::Metric::WorstSlowdown),
+               opt.csv);
+    std::cout << "\nWorst-case turnaround time (s) by category:\n";
+    printTable(
+        metrics::categoryGrid16(cat, metrics::Metric::WorstTurnaround, 0),
+        opt.csv);
+  }
+}
+
+int runCompare(const CliOptions& opt, core::Runner& runner,
+               const workload::Trace& trace,
+               const core::SimulationOptions& options) {
+  std::vector<core::PolicySpec> specs =
+      opt.policy == "tss"
+          ? core::tssSchemeSet(core::bootstrapTssLimits(runner, trace, 1.5,
+                                                        options))
+          : core::ssSchemeSet();
+
+  const auto shared = core::borrowTrace(trace);
+  std::vector<core::RunRequest> batch;
+  for (const core::PolicySpec& spec : specs) {
+    core::RunRequest request;
+    request.trace = shared;
+    request.spec = spec;
+    request.options = options;
+    request.seed = opt.seed;
+    batch.push_back(std::move(request));
+  }
+  if (!opt.json)
+    runner.onRunComplete([](const core::RunResult& r) {
+      std::cerr << "finished " << r.label << " ("
+                << formatFixed(r.wallSeconds, 2) << "s)\n";
+    });
+  const std::vector<core::RunResult> results =
+      runner.runAll(std::move(batch));
+
+  if (opt.json) {
+    metrics::JsonOptions jsonOptions;
+    jsonOptions.includeJobs = !opt.summaryOnly;
+    core::writeRunResultsJson(std::cout, results, jsonOptions);
+    std::cout << "\n";
+    return 0;
+  }
+
+  std::vector<metrics::RunStats> runs;
+  runs.reserve(results.size());
+  for (const core::RunResult& r : results) runs.push_back(r.stats);
+  core::printRunSummaries(std::cout, runs);
+  if (opt.summaryOnly) return 0;
+  core::printFigurePanels(std::cout, "average bounded slowdown by category",
+                          runs, metrics::Metric::AvgSlowdown);
+  core::printFigurePanels(std::cout, "average turnaround time by category",
+                          runs, metrics::Metric::AvgTurnaround);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions opt = parseArgs(argc, argv);
+  CliOptions opt;
+  core::CliConfig cli = makeCli(opt);
   try {
+    if (cli.parse(argc, argv).helpRequested) {
+      cli.printUsage(std::cout);
+      return 0;
+    }
+  } catch (const sps::InputError& e) {
+    fail(e.what());
+  }
+
+  try {
+    core::Runner runner({.threads = opt.compare ? opt.threads : 1});
     const workload::Trace trace = buildWorkload(opt);
-    const core::PolicySpec spec = buildPolicy(opt, trace);
 
     std::optional<sched::DiskSwapOverhead> overhead;
     core::SimulationOptions options;
@@ -248,8 +291,25 @@ int main(int argc, char** argv) {
       options.overhead = &*overhead;
     }
 
-    const metrics::RunStats stats =
-        core::runSimulation(trace, spec, options);
+    if (opt.compare) return runCompare(opt, runner, trace, options);
+
+    const core::PolicySpec spec = buildPolicy(opt, runner, trace);
+    core::RunRequest request;
+    request.trace = core::borrowTrace(trace);
+    request.spec = spec;
+    request.options = options;
+    request.seed = opt.seed;
+    const core::RunResult result = runner.runOne(request);
+
+    if (opt.json) {
+      metrics::JsonOptions jsonOptions;
+      jsonOptions.includeJobs = !opt.summaryOnly;
+      core::writeRunResultsJson(std::cout, {result}, jsonOptions);
+      std::cout << "\n";
+      return 0;
+    }
+
+    const metrics::RunStats& stats = result.stats;
     std::cout << metrics::summaryLine(stats) << "\n";
     if (opt.summaryOnly) return 0;
 
@@ -257,28 +317,7 @@ int main(int argc, char** argv) {
               << trace.machineProcs << " processors):\n";
     printTable(workload::summaryStatsTable(workload::summarizeTrace(trace)),
                opt.csv);
-
-    const auto cat = metrics::categorize16(stats.jobs);
-    std::cout << "\nAverage bounded slowdown by category:\n";
-    printTable(metrics::categoryGrid16(cat, metrics::Metric::AvgSlowdown),
-               opt.csv);
-    std::cout << "\nAverage turnaround time (s) by category:\n";
-    printTable(
-        metrics::categoryGrid16(cat, metrics::Metric::AvgTurnaround, 0),
-        opt.csv);
-    if (opt.worst) {
-      std::cout << "\np95 slowdown by category:\n";
-      printTable(metrics::categoryGrid16(cat, metrics::Metric::P95Slowdown),
-                 opt.csv);
-      std::cout << "\nWorst-case slowdown by category:\n";
-      printTable(
-          metrics::categoryGrid16(cat, metrics::Metric::WorstSlowdown),
-          opt.csv);
-      std::cout << "\nWorst-case turnaround time (s) by category:\n";
-      printTable(
-          metrics::categoryGrid16(cat, metrics::Metric::WorstTurnaround, 0),
-          opt.csv);
-    }
+    printRunGrids(stats, opt);
     return 0;
   } catch (const sps::InputError& e) {
     std::cerr << "sps_sim: input error: " << e.what() << "\n";
