@@ -1,8 +1,23 @@
-// google-benchmark microbenchmarks of the discrete-event engine: event queue
-// throughput and whole-simulation throughput per scheduler.
+// google-benchmark microbenchmarks of the discrete-event engine (event
+// queue + whole-simulation throughput), plus the scheduling-kernel sweep:
+// every backfilling policy on a high-load SDSC trace under both
+// KernelMode::Incremental and KernelMode::Rebuild, with events/sec and
+// wall time written to BENCH_engine.json. The Rebuild lane is the
+// pre-kernel per-event-reconstruction behaviour, so the per-policy speedup
+// column is the before/after number for the incremental kernel.
+//
+// `ctest -L perf-smoke` (the golden-equivalence suite) is the gate that
+// makes these speedups meaningful: both lanes produce bit-identical
+// schedules, so the comparison is pure engine cost.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
 #include "core/simulation.hpp"
+#include "metrics/json.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "workload/synthetic.hpp"
@@ -10,6 +25,7 @@
 namespace {
 
 using namespace sps;
+using sched::kernel::KernelMode;
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -46,6 +62,138 @@ BENCHMARK(BM_Simulation<core::PolicyKind::Easy>)->Arg(2000);
 BENCHMARK(BM_Simulation<core::PolicyKind::SelectiveSuspension>)->Arg(2000);
 BENCHMARK(BM_Simulation<core::PolicyKind::ImmediateService>)->Arg(2000);
 
+// --- scheduling-kernel sweep -----------------------------------------------
+
+core::PolicySpec withMode(core::PolicySpec spec, KernelMode mode) {
+  spec.conservative.kernelMode = mode;
+  spec.easy.kernelMode = mode;
+  spec.depth.kernelMode = mode;
+  spec.ss.kernelMode = mode;
+  spec.is.kernelMode = mode;
+  return spec;
+}
+
+struct Lane {
+  double wallSeconds = 0.0;
+  double eventsPerSec = 0.0;
+  std::uint64_t events = 0;
+};
+
+Lane timeLane(const workload::Trace& trace, const core::PolicySpec& spec,
+              int repeats) {
+  Lane best;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const metrics::RunStats stats = core::runSimulation(trace, spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || wall < best.wallSeconds) {
+      best.wallSeconds = wall;
+      best.events = stats.eventsProcessed;
+      best.eventsPerSec = static_cast<double>(stats.eventsProcessed) / wall;
+    }
+  }
+  return best;
+}
+
+std::size_t sweepJobs() {
+  if (const char* env = std::getenv("SPS_BENCH_JOBS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 8000;
+}
+
+void runKernelSweep() {
+  const std::size_t jobs = sweepJobs();
+  const int repeats = 3;
+  // High-load SDSC: the regime where the availability profile is largest
+  // (long queues, deep reservation sets) and per-event rebuilds hurt most.
+  auto config = workload::sdscConfig(jobs, 42);
+  config.offeredLoad = 0.95;
+  const auto trace = workload::generateTrace(config);
+
+  std::vector<std::pair<const char*, core::PolicySpec>> policies;
+  core::PolicySpec spec;
+  // FCFS uses no kernel structures; its lane measures the raw event-engine
+  // floor the other speedups are bounded by.
+  spec = {};
+  spec.kind = core::PolicyKind::Fcfs;
+  policies.emplace_back("fcfs", spec);
+  spec = {};
+  spec.kind = core::PolicyKind::Conservative;
+  policies.emplace_back("conservative", spec);
+  spec = {};
+  spec.kind = core::PolicyKind::Easy;
+  policies.emplace_back("easy", spec);
+  spec = {};
+  spec.kind = core::PolicyKind::Easy;
+  spec.easy.order = sched::QueueOrder::ShortestFirst;
+  policies.emplace_back("sjf-bf", spec);
+  spec = {};
+  spec.kind = core::PolicyKind::DepthBackfill;
+  spec.depth.depth = sched::kUnlimitedDepth;
+  policies.emplace_back("depth-inf", spec);
+  spec = {};
+  spec.kind = core::PolicyKind::SelectiveSuspension;
+  policies.emplace_back("ss", spec);
+  spec = {};
+  spec.kind = core::PolicyKind::ImmediateService;
+  policies.emplace_back("is", spec);
+
+  std::ofstream out("BENCH_engine.json");
+  metrics::JsonWriter w(out);
+  w.beginObject();
+  w.field("bench", "engine_kernel_sweep");
+  w.key("trace").beginObject();
+  w.field("kind", "sdsc");
+  w.field("jobs", static_cast<std::uint64_t>(jobs));
+  w.field("seed", static_cast<std::uint64_t>(42));
+  w.field("offeredLoad", config.offeredLoad);
+  w.endObject();
+  w.field("repeats", static_cast<std::int64_t>(repeats));
+  w.key("policies").beginArray();
+
+  std::cout << "kernel sweep: sdsc jobs=" << jobs
+            << " load=" << config.offeredLoad << " (best of " << repeats
+            << ")\n";
+  for (const auto& [label, policySpec] : policies) {
+    const Lane reb =
+        timeLane(trace, withMode(policySpec, KernelMode::Rebuild), repeats);
+    const Lane inc =
+        timeLane(trace, withMode(policySpec, KernelMode::Incremental), repeats);
+    const double speedup = inc.eventsPerSec / reb.eventsPerSec;
+    w.beginObject();
+    w.field("policy", label);
+    w.key("rebuild").beginObject();
+    w.field("wallSeconds", reb.wallSeconds);
+    w.field("eventsPerSec", reb.eventsPerSec);
+    w.field("events", reb.events);
+    w.endObject();
+    w.key("incremental").beginObject();
+    w.field("wallSeconds", inc.wallSeconds);
+    w.field("eventsPerSec", inc.eventsPerSec);
+    w.field("events", inc.events);
+    w.endObject();
+    w.field("speedup", speedup);
+    w.endObject();
+    std::cout << "  " << label << ": rebuild " << reb.eventsPerSec
+              << " ev/s, incremental " << inc.eventsPerSec << " ev/s ("
+              << speedup << "x)\n";
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
+  std::cout << "wrote BENCH_engine.json\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  runKernelSweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

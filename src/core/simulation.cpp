@@ -26,7 +26,7 @@ std::unique_ptr<sim::SchedulingPolicy> makePolicy(const PolicySpec& spec) {
     case PolicyKind::Fcfs:
       return std::make_unique<sched::FcfsScheduler>();
     case PolicyKind::Conservative:
-      return std::make_unique<sched::ConservativeBackfill>();
+      return std::make_unique<sched::ConservativeBackfill>(spec.conservative);
     case PolicyKind::Easy:
       return std::make_unique<sched::EasyBackfill>(spec.easy);
     case PolicyKind::SelectiveSuspension:

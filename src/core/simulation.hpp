@@ -14,6 +14,7 @@
 #include <string>
 
 #include "metrics/collector.hpp"
+#include "sched/conservative.hpp"
 #include "sched/depth_backfill.hpp"
 #include "sched/easy.hpp"
 #include "sched/gang.hpp"
@@ -43,6 +44,7 @@ struct PolicySpec {
   sched::EasyConfig easy{};    ///< used when kind == Easy
   sched::GangConfig gang{};    ///< used when kind == Gang
   sched::DepthConfig depth{};  ///< used when kind == DepthBackfill
+  sched::ConservativeConfig conservative{};  ///< when kind == Conservative
   /// Optional display label override (defaults to the policy's own name()).
   std::string label;
 };

@@ -44,6 +44,47 @@ void AvailabilityProfile::addBusy(Time start, Time end, std::uint32_t procs) {
   }
 }
 
+void AvailabilityProfile::removeBusy(Time start, Time end,
+                                     std::uint32_t procs) {
+  if (procs == 0) return;
+  start = std::max(start, origin_);
+  if (start >= end) return;
+  const std::size_t first = splitAt(start);
+  std::size_t last = splitAt(end);  // step starting exactly at `end`
+  for (std::size_t i = first; i < last; ++i) {
+    SPS_CHECK_MSG(steps_[i].free + procs <= total_,
+                  "profile over-freed at t=" << steps_[i].start << ": "
+                      << steps_[i].free << " free, returning " << procs);
+    steps_[i].free += procs;
+  }
+  // Coalesce the touched range (one step either side included): removal can
+  // equalize availability across the boundaries it just created, and an
+  // incremental ledger would otherwise accumulate dead breakpoints with
+  // every reservation it re-anchors. Dropping a step never changes the
+  // function, so comparing against the compacted predecessor is the same as
+  // comparing against the original one.
+  const std::size_t lo = std::max<std::size_t>(first, 1);
+  const std::size_t hi = std::min(last + 1, steps_.size() - 1);
+  std::size_t write = lo;
+  for (std::size_t read = lo; read < steps_.size(); ++read) {
+    if (read <= hi && steps_[write - 1].free == steps_[read].free) continue;
+    steps_[write++] = steps_[read];
+  }
+  steps_.resize(write);
+}
+
+void AvailabilityProfile::shiftOrigin(Time newOrigin) {
+  SPS_CHECK_MSG(newOrigin >= origin_, "shiftOrigin moving backwards: "
+                                          << newOrigin << " < " << origin_);
+  if (newOrigin == origin_) return;
+  const std::size_t i = stepIndex(newOrigin);
+  if (i > 0)
+    steps_.erase(steps_.begin(),
+                 steps_.begin() + static_cast<std::ptrdiff_t>(i));
+  steps_.front().start = newOrigin;
+  origin_ = newOrigin;
+}
+
 std::uint32_t AvailabilityProfile::freeAt(Time t) const {
   return steps_[stepIndex(t)].free;
 }

@@ -32,6 +32,20 @@ class AvailabilityProfile {
   /// drive availability below zero anywhere.
   void addBusy(Time start, Time end, std::uint32_t procs);
 
+  /// Exact inverse of addBusy: return `procs` processors over [start, end).
+  /// Clamps start to the origin; no-op on an empty interval. It is an
+  /// invariant error to drive availability above totalProcs anywhere.
+  /// Adjacent steps left with equal availability are coalesced, so an
+  /// add/remove churn (incremental maintenance) cannot grow the step vector
+  /// without bound.
+  void removeBusy(Time start, Time end, std::uint32_t procs);
+
+  /// Advance the origin to `newOrigin` (>= origin()), dropping every step
+  /// that ends at or before it. Availability at times >= newOrigin is
+  /// unchanged. This is how an incrementally-maintained profile follows the
+  /// simulation clock instead of being rebuilt at each event.
+  void shiftOrigin(Time newOrigin);
+
   /// Free processors at time t (t >= origin).
   [[nodiscard]] std::uint32_t freeAt(Time t) const;
 

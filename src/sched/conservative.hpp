@@ -12,24 +12,42 @@
 // guaranteed start and re-anchored against the rebuilt profile. A job's new
 // anchor can never be later than its old guarantee (the old slot is still
 // feasible), so guarantees only improve — the paper's no-starvation argument.
+//
+// The profile lives in a sched/core ReservationLedger; this file holds only
+// the decision rule (guarantee ordering + the compression loop). The
+// config's kernel mode selects incremental maintenance or the per-event
+// rebuild the seed implementation used.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
-#include "sched/availability_profile.hpp"
+#include "sched/core/backfill_engine.hpp"
+#include "sched/core/reservation_ledger.hpp"
 #include "sim/policy.hpp"
 
 namespace sps::sched {
 
+struct ConservativeConfig {
+  kernel::KernelMode kernelMode = kernel::KernelMode::Incremental;
+};
+
 class ConservativeBackfill final : public sim::SchedulingPolicy {
  public:
+  ConservativeBackfill() : ConservativeBackfill(ConservativeConfig{}) {}
+  explicit ConservativeBackfill(ConservativeConfig config)
+      : config_(config), ledger_(config.kernelMode) {}
+
   [[nodiscard]] std::string name() const override { return "Conservative"; }
 
+  void onSimulationStart(sim::Simulator& simulator) override;
   void onJobArrival(sim::Simulator& simulator, JobId job) override;
   void onJobCompletion(sim::Simulator& simulator, JobId job) override;
   void onSimulationEnd(sim::Simulator& simulator) override;
 
   /// Current start-time guarantee for a queued job (tests/diagnostics).
+  /// O(1): backed by a per-job map kept alongside the guarantee-ordered
+  /// vector.
   [[nodiscard]] Time guaranteeOf(JobId job) const;
 
  private:
@@ -38,15 +56,24 @@ class ConservativeBackfill final : public sim::SchedulingPolicy {
     Time start;
   };
 
-  /// Profile of running jobs' estimated remainders only.
-  [[nodiscard]] AvailabilityProfile runningProfile(
-      const sim::Simulator& simulator) const;
-
   /// Re-anchor every reservation (in guarantee order) against a fresh
   /// profile, starting any whose anchor is now. Guarantees must not regress.
   void compress(sim::Simulator& simulator);
 
+  /// Fast-path compression for on-time completions (incremental mode):
+  /// the availability function is unchanged, so every re-anchor would
+  /// return the reservation's current start. Only the start == now prefix
+  /// can act — start those that physically fit, keep the rest untouched.
+  void startDueReservations(sim::Simulator& simulator);
+
+  void recordReservation(sim::Simulator& simulator, JobId job, Time start);
+
+  ConservativeConfig config_;
+  kernel::ReservationLedger ledger_;
+  kernel::BackfillEngine engine_{ledger_};
   std::vector<Reservation> reservations_;  ///< sorted by (start, FCFS rank)
+  /// JobId -> guaranteed start, mirroring reservations_.
+  std::unordered_map<JobId, Time> guaranteeIndex_;
 };
 
 }  // namespace sps::sched

@@ -1,0 +1,111 @@
+#include "sched/core/priority_index.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+
+namespace sps::sched::kernel {
+
+namespace {
+
+/// Sort `jobs` under a strict total order. When `seeded`, the vector is the
+/// previous epoch's order with membership churn applied — nearly sorted,
+/// because priorities drift continuously between events and pairwise order
+/// flips are rare — so an adaptive insertion sort finishes in
+/// O(n + inversions). The comparator breaks every tie (by id), the sorted
+/// permutation is unique, and therefore the result is bit-identical to a
+/// from-scratch std::sort. A shift budget bounds the pathological case
+/// (e.g. a long event gap crossing many priorities) by falling back to
+/// std::sort.
+template <class Cmp>
+void adaptiveSort(std::vector<JobId>& jobs, Cmp cmp, bool seeded) {
+  if (!seeded) {
+    std::sort(jobs.begin(), jobs.end(), cmp);
+    return;
+  }
+  std::size_t budget = jobs.size() * 32 + 64;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const JobId v = jobs[i];
+    std::size_t j = i;
+    while (j > 0 && cmp(v, jobs[j - 1])) {
+      jobs[j] = jobs[j - 1];
+      --j;
+      if (--budget == 0) {
+        std::sort(jobs.begin(), jobs.end(), cmp);
+        return;
+      }
+    }
+    jobs[j] = v;
+  }
+}
+
+}  // namespace
+
+std::vector<JobId> PriorityIndex::idle(const sim::Simulator& simulator) {
+  const bool hit = mode_ == KernelMode::Incremental && valid_ &&
+                   sim_ == &simulator && epoch_ == simulator.epoch();
+  if (!hit) recompute(simulator);
+  return idle_;
+}
+
+void PriorityIndex::recompute(const sim::Simulator& simulator) {
+  // A previous epoch's order for the same simulator seeds the sort; its
+  // membership is reconciled below (drop no-longer-idle jobs in place,
+  // append newcomers) so only genuine priority inversions cost anything.
+  const bool seeded = mode_ == KernelMode::Incremental && valid_ &&
+                      sim_ == &simulator && !idle_.empty();
+  sim_ = &simulator;
+  epoch_ = simulator.epoch();
+  valid_ = true;
+
+  gather_.clear();
+  gather_.reserve(simulator.queuedJobs().size() +
+                  simulator.suspendedJobs().size());
+  for (const JobId id : simulator.queuedJobs()) gather_.push_back(id);
+  for (const JobId id : simulator.suspendedJobs())
+    if (simulator.exec(id).state == sim::JobState::Suspended)
+      gather_.push_back(id);
+
+  if (seeded) {
+    ++generation_;
+    memberStamp_.resize(simulator.trace().jobs.size(), 0);
+    previousStamp_.resize(simulator.trace().jobs.size(), 0);
+    for (const JobId id : gather_) memberStamp_[id] = generation_;
+    for (const JobId id : idle_) previousStamp_[id] = generation_;
+    // Survivors keep the previous order; newcomers append in gather order
+    // (arbitrary — the total order makes the final result unique).
+    std::size_t keep = 0;
+    for (const JobId id : idle_)
+      if (memberStamp_[id] == generation_) idle_[keep++] = id;
+    idle_.resize(keep);
+    for (const JobId id : gather_)
+      if (previousStamp_[id] != generation_) idle_.push_back(id);
+  } else {
+    idle_ = gather_;
+  }
+
+  if (order_ == IndexOrder::XFactorDesc) {
+    priority_.resize(simulator.trace().jobs.size());
+    for (const JobId id : idle_) priority_[id] = simulator.xfactor(id);
+    adaptiveSort(
+        idle_,
+        [this, &simulator](JobId a, JobId b) {
+          if (priority_[a] != priority_[b]) return priority_[a] > priority_[b];
+          if (simulator.job(a).submit != simulator.job(b).submit)
+            return simulator.job(a).submit < simulator.job(b).submit;
+          return a < b;
+        },
+        seeded);
+  } else {
+    adaptiveSort(
+        idle_,
+        [&simulator](JobId a, JobId b) {
+          if (simulator.job(a).submit != simulator.job(b).submit)
+            return simulator.job(a).submit < simulator.job(b).submit;
+          return a < b;
+        },
+        seeded);
+  }
+}
+
+}  // namespace sps::sched::kernel

@@ -1,0 +1,83 @@
+// PriorityIndex — maintained priority ordering of the idle jobs (queued +
+// fully-suspended), the third piece of the scheduling kernel.
+//
+// The preemptive policies (SS/TSS, IS) walk the idle set in priority order
+// at every decision point — and a single event typically triggers several
+// such walks (resume pass, backfill pass, preemption pass). The seed code
+// re-gathered and re-sorted the set for each walk. Priorities are a pure
+// function of the clock and per-job transition history, both of which are
+// summarized by Simulator::epoch(), so the sorted order is cached and
+// reused until the epoch moves.
+//
+// Comparators are strict total orders (every tie broken by job id), so the
+// sort result is independent of the input order — which is what makes the
+// simulator's unordered (swap-and-pop) job lists safe to consume here.
+//
+// idle() returns a snapshot by value: callers mutate the simulator while
+// walking the list (starting and suspending jobs), and must re-check each
+// job's state at use, exactly as the seed loops did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/core/reservation_ledger.hpp"
+#include "util/types.hpp"
+
+namespace sps::sim {
+class Simulator;
+}
+
+namespace sps::sched::kernel {
+
+/// Priority order over idle jobs.
+enum class IndexOrder : std::uint8_t {
+  /// Expansion factor descending (the SS suspension priority, Eq. 2); ties
+  /// by submit time, then id.
+  XFactorDesc,
+  /// Submission order (IS dispatch); ties by id.
+  SubmitAsc,
+};
+
+class PriorityIndex {
+ public:
+  explicit PriorityIndex(IndexOrder order,
+                         KernelMode mode = KernelMode::Incremental)
+      : order_(order), mode_(mode) {}
+
+  [[nodiscard]] KernelMode mode() const { return mode_; }
+
+  /// Invalidate the cache — call from onSimulationStart (a fresh simulator
+  /// could otherwise alias a previous run's address and epoch).
+  void reset() {
+    valid_ = false;
+    sim_ = nullptr;
+  }
+
+  /// The idle jobs — Queued plus fully-Suspended (never Suspending) —
+  /// sorted by the index order. Cached on Simulator::epoch() in incremental
+  /// mode; recomputed per call (the seed behaviour) in rebuild mode.
+  [[nodiscard]] std::vector<JobId> idle(const sim::Simulator& simulator);
+
+ private:
+  void recompute(const sim::Simulator& simulator);
+
+  IndexOrder order_;
+  KernelMode mode_;
+  bool valid_ = false;
+  std::uint64_t epoch_ = 0;
+  const sim::Simulator* sim_ = nullptr;
+  std::vector<JobId> idle_;
+  /// Per-job priority scratch, indexed by JobId — computed once per rebuild
+  /// instead of inside the sort comparator.
+  std::vector<double> priority_;
+  /// Membership-reconciliation scratch for the seeded (incremental) path:
+  /// the freshly gathered idle set, plus two generation-stamp arrays used
+  /// to diff it against the previous epoch's order without clearing.
+  std::vector<JobId> gather_;
+  std::vector<std::uint64_t> memberStamp_;
+  std::vector<std::uint64_t> previousStamp_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace sps::sched::kernel

@@ -1,0 +1,117 @@
+#include "sched/core/reservation_ledger.hpp"
+
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace sps::sched::kernel {
+
+namespace {
+/// The scheduler's belief about a running segment: it occupies the machine
+/// for the full user estimate from segment start. Uniform across fresh and
+/// resumed segments (both frozen at segment start, so Incremental and
+/// Rebuild agree exactly); the profile-driven policies are non-preemptive,
+/// so the resumed case is never exercised.
+Time beliefEnd(const sim::Simulator& simulator, JobId id) {
+  return simulator.exec(id).segStart + simulator.job(id).estimate;
+}
+}  // namespace
+
+void ReservationLedger::attach(sim::Simulator& simulator) {
+  totalProcs_ = simulator.machine().totalProcs();
+  profile_ = AvailabilityProfile(simulator.now(), totalProcs_);
+  running_.clear();
+  byEnd_.clear();
+  reservations_.clear();
+  const bool firstAttach = attached_ == nullptr;
+  attached_ = &simulator;
+  if (firstAttach) {
+    // One registration per ledger lifetime: on re-attach the observer is
+    // already in place (stale simulators are filtered by `attached_`).
+    // Registered in BOTH modes — between two refresh() calls the profile
+    // must track jobs the policy starts mid-decision (the seed code's
+    // manual addBusy-after-startJob), and that bookkeeping is identical
+    // either way; the modes differ only in what refresh() itself does.
+    simulator.addStateChangeObserver(
+        [this](const sim::Simulator& s, JobId id, sim::JobState from,
+               sim::JobState to) {
+          if (&s == attached_) onTransition(s, id, from, to);
+        });
+  }
+}
+
+void ReservationLedger::refresh(const sim::Simulator& simulator) {
+  SPS_CHECK_MSG(attached_ == &simulator, "ledger not attached to this run");
+  if (mode_ == KernelMode::Incremental) {
+    profile_.shiftOrigin(simulator.now());
+  } else {
+    rebuild(simulator);
+  }
+}
+
+void ReservationLedger::rebuild(const sim::Simulator& simulator) {
+  profile_ = AvailabilityProfile(simulator.now(), totalProcs_);
+  running_.clear();
+  byEnd_.clear();
+  for (const JobId id : simulator.runningJobs()) {
+    const Time start = simulator.exec(id).segStart;
+    const Time end = beliefEnd(simulator, id);
+    const std::uint32_t procs = simulator.job(id).procs;
+    profile_.addBusy(start, end, procs);
+    const auto endIt = byEnd_.emplace(end, procs);
+    running_.emplace(id, RunningEntry{start, end, procs, endIt});
+  }
+  for (const auto& [id, entry] : reservations_) {
+    (void)id;
+    profile_.addBusy(entry.start, entry.end, entry.procs);
+  }
+}
+
+void ReservationLedger::onTransition(const sim::Simulator& simulator, JobId id,
+                                     sim::JobState from, sim::JobState to) {
+  if (to == sim::JobState::Running) {
+    const Time start = simulator.exec(id).segStart;
+    const Time end = beliefEnd(simulator, id);
+    const std::uint32_t procs = simulator.job(id).procs;
+    profile_.addBusy(start, end, procs);
+    const auto endIt = byEnd_.emplace(end, procs);
+    const bool inserted =
+        running_.emplace(id, RunningEntry{start, end, procs, endIt}).second;
+    SPS_CHECK_MSG(inserted, "job " << id << " started while already in ledger");
+  } else if (from == sim::JobState::Running) {
+    const auto it = running_.find(id);
+    SPS_CHECK_MSG(it != running_.end(),
+                  "job " << id << " left Running without a ledger entry");
+    // removeBusy clamps to the current origin; any part of the belief that
+    // already elapsed (or a zombie interval entirely in the past) is gone
+    // from the profile and needs no return.
+    profile_.removeBusy(it->second.start, it->second.end, it->second.procs);
+    byEnd_.erase(it->second.endIt);
+    running_.erase(it);
+  }
+}
+
+void ReservationLedger::addReservation(JobId job, Time start, Time duration,
+                                       std::uint32_t procs) {
+  SPS_CHECK_MSG(reservations_.count(job) == 0,
+                "job " << job << " already holds a reservation");
+  const Time end = start + duration;
+  reservations_.emplace(job, ReservationEntry{start, end, procs});
+  profile_.addBusy(start, end, procs);
+}
+
+void ReservationLedger::removeReservation(JobId job) {
+  const auto it = reservations_.find(job);
+  SPS_CHECK_MSG(it != reservations_.end(),
+                "job " << job << " holds no reservation");
+  profile_.removeBusy(it->second.start, it->second.end, it->second.procs);
+  reservations_.erase(it);
+}
+
+std::uint32_t ReservationLedger::zombieProcsAt(Time now) const {
+  std::uint32_t procs = 0;
+  for (auto it = byEnd_.begin(); it != byEnd_.end() && it->first <= now; ++it)
+    procs += it->second;
+  return procs;
+}
+
+}  // namespace sps::sched::kernel

@@ -1,0 +1,136 @@
+// ReservationLedger — the scheduling kernel's incrementally-maintained
+// availability profile (the paper's Section II-A "2D chart", kept alive
+// across events instead of rebuilt at each one).
+//
+// The ledger owns one AvailabilityProfile holding two kinds of busy
+// intervals:
+//
+//   * running jobs' estimated remainders — [segStart, segStart + estimate),
+//     entered automatically when a job starts and released when it leaves
+//     the Running state, via a Simulator state-change observer;
+//   * reservations — future start-time guarantees a backfilling policy has
+//     handed out, entered and released explicitly through addReservation /
+//     removeReservation.
+//
+// Policies call refresh() once at the top of every decision point; in
+// incremental mode that only advances the profile origin to now()
+// (dropping elapsed steps), so the amortized maintenance cost per event is
+// the handful of addBusy/removeBusy calls its transitions actually cause —
+// not a rebuild over every active job.
+//
+// KernelMode::Rebuild keeps the seed behaviour: refresh() reconstructs the
+// profile from the simulator's running set plus the recorded reservations,
+// exactly as conservative.cpp/easy.cpp/depth_backfill.cpp did per event
+// before this kernel existed. The two modes produce bit-identical profiles
+// (the golden-equivalence suite runs every policy under both and asserts
+// identical schedules), and the Rebuild lane doubles as the before/after
+// baseline in bench_micro_engine.
+//
+// Suspension is effectively out of scope: the ledger drops a job's
+// interval as soon as it leaves Running, and a resumed segment is
+// re-entered with the full user estimate (uniform with fresh starts, so
+// both kernel modes agree bit-for-bit). The policies that anchor against
+// profiles (conservative, EASY, depth) are exactly the non-preemptive
+// ones, so the resumed case is never exercised in practice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "sched/availability_profile.hpp"
+#include "util/types.hpp"
+
+namespace sps::sim {
+class Simulator;
+enum class JobState : std::uint8_t;
+}
+
+namespace sps::sched::kernel {
+
+/// Maintenance strategy for the kernel's incremental structures. Rebuild is
+/// the pre-kernel, per-event-reconstruction behaviour, kept as the
+/// golden-equivalence reference and the bench baseline.
+enum class KernelMode : std::uint8_t { Incremental, Rebuild };
+
+class ReservationLedger {
+ public:
+  explicit ReservationLedger(KernelMode mode = KernelMode::Incremental)
+      : mode_(mode) {}
+
+  [[nodiscard]] KernelMode mode() const { return mode_; }
+
+  /// Bind to a simulator: resets all state, sizes the profile to the
+  /// machine, and registers the state-change observer that keeps the
+  /// running layer current between refreshes (both modes — a policy that
+  /// starts jobs mid-decision needs the profile to follow). Call from
+  /// onSimulationStart. A ledger serves one simulator at a time and must
+  /// outlive it.
+  void attach(sim::Simulator& simulator);
+
+  /// Bring the profile up to date with the simulation clock. Incremental:
+  /// shift the origin to now(). Rebuild: reconstruct running + reservations
+  /// from scratch. Call once at the top of every policy decision point,
+  /// before any query.
+  void refresh(const sim::Simulator& simulator);
+
+  // --- reservations (the policy-owned layer) ---------------------------
+  /// Record a start-time guarantee occupying [start, start + duration).
+  /// The job must not already hold a reservation.
+  void addReservation(JobId job, Time start, Time duration,
+                      std::uint32_t procs);
+  /// Release a guarantee previously recorded with addReservation.
+  void removeReservation(JobId job);
+  [[nodiscard]] bool hasReservation(JobId job) const {
+    return reservations_.count(job) != 0;
+  }
+  [[nodiscard]] std::size_t reservationCount() const {
+    return reservations_.size();
+  }
+
+  // --- queries ----------------------------------------------------------
+  /// The profile of running remainders + reservations, valid as of the
+  /// last refresh(). Do not mutate; BackfillEngine owns scan overlays.
+  [[nodiscard]] const AvailabilityProfile& profile() const {
+    return profile_;
+  }
+  [[nodiscard]] AvailabilityProfile& mutableProfile() { return profile_; }
+
+  /// Total processors held by running jobs whose *estimated* end is <= now
+  /// — their completion events are pending in the current timestamp batch,
+  /// so the profile already counts them free, but the machine has not
+  /// released them yet. EASY's shadow computation re-occupies them for
+  /// [now, now + 1).
+  [[nodiscard]] std::uint32_t zombieProcsAt(Time now) const;
+
+ private:
+  struct RunningEntry {
+    Time start;
+    Time end;
+    std::uint32_t procs;
+    /// Position in byEnd_ for O(log n) removal.
+    std::multimap<Time, std::uint32_t>::iterator endIt;
+  };
+  struct ReservationEntry {
+    Time start;
+    Time end;
+    std::uint32_t procs;
+  };
+
+  void onTransition(const sim::Simulator& simulator, JobId id,
+                    sim::JobState from, sim::JobState to);
+  void rebuild(const sim::Simulator& simulator);
+
+  KernelMode mode_;
+  std::uint32_t totalProcs_ = 0;
+  AvailabilityProfile profile_{0, 0};
+  std::unordered_map<JobId, RunningEntry> running_;
+  /// Running entries keyed by estimated end, for the zombie query.
+  std::multimap<Time, std::uint32_t> byEnd_;
+  std::unordered_map<JobId, ReservationEntry> reservations_;
+  /// Distinguishes the simulator currently served from a stale one still
+  /// holding our observer (a policy may be re-attached across runs).
+  const sim::Simulator* attached_ = nullptr;
+};
+
+}  // namespace sps::sched::kernel

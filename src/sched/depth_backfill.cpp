@@ -7,7 +7,8 @@
 
 namespace sps::sched {
 
-DepthBackfill::DepthBackfill(DepthConfig config) : config_(config) {
+DepthBackfill::DepthBackfill(DepthConfig config)
+    : config_(config), ledger_(config.kernelMode) {
   SPS_CHECK_MSG(config_.depth >= 1, "reservation depth must be >= 1");
 }
 
@@ -24,75 +25,167 @@ Time DepthBackfill::guaranteeOf(JobId job) const {
   return kNoTime;
 }
 
-void DepthBackfill::onJobArrival(sim::Simulator& simulator, JobId job) {
-  queue_.push_back(job);
-  rebuild(simulator);
+void DepthBackfill::onSimulationStart(sim::Simulator& simulator) {
+  ledger_.attach(simulator);
+  queue_.clear();
+  guarantees_.clear();
 }
 
-void DepthBackfill::onJobCompletion(sim::Simulator& simulator,
-                                    JobId /*job*/) {
-  rebuild(simulator);
+void DepthBackfill::onJobArrival(sim::Simulator& simulator, JobId job) {
+  // The new arrival has the highest id, so push_back keeps queue_ sorted.
+  queue_.push_back(job);
+  // An arrival never changes the availability function, so incremental
+  // mode can skip re-anchoring existing guarantees entirely.
+  if (config_.kernelMode == kernel::KernelMode::Incremental)
+    incrementalPass(simulator);
+  else
+    rebuild(simulator);
+}
+
+void DepthBackfill::onJobCompletion(sim::Simulator& simulator, JobId job) {
+  // Same fast-path rule as conservative compression: an on-time completion
+  // leaves the function unchanged, making every pass-1 re-anchor the
+  // identity (see conservative.cpp for the argument). Early completions
+  // free capacity and take the full rebuild.
+  if (config_.kernelMode == kernel::KernelMode::Incremental &&
+      kernel::completionPreservesProfile(simulator, job))
+    incrementalPass(simulator);
+  else
+    rebuild(simulator);
+}
+
+void DepthBackfill::incrementalPass(sim::Simulator& simulator) {
+  ledger_.refresh(simulator);
+  const Time now = simulator.now();
+  std::vector<JobId> pending;
+  pending.swap(queue_);
+  // Pass-1 membership is positional, exactly as in rebuild(): the first
+  // min(depth, pending) jobs, started ones included. Guaranteed jobs are
+  // always the lowest-id queued jobs (new arrivals take higher ids, and
+  // unreserved tail jobs outrank every pass-1 job), so they appear as a
+  // prefix of pending, in guarantee-list order.
+  const std::size_t passOne =
+      std::min<std::size_t>(config_.depth, pending.size());
+  std::vector<std::pair<JobId, Time>> oldGuarantees;
+  oldGuarantees.swap(guarantees_);
+  std::size_t consumed = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const JobId id = pending[i];
+    const auto& j = simulator.job(id);
+    if (i < passOne) {
+      if (consumed < oldGuarantees.size() &&
+          oldGuarantees[consumed].first == id) {
+        // Existing guarantee: a fixed point of re-anchoring. Start it when
+        // due and physically possible; otherwise leave its ledger entry
+        // untouched (a pending same-timestamp completion retries later in
+        // the cascade).
+        const Time start = oldGuarantees[consumed++].second;
+        if (start == now && j.procs <= simulator.freeCount()) {
+          ledger_.removeReservation(id);
+          simulator.startJob(id);
+        } else {
+          queue_.push_back(id);
+          guarantees_.emplace_back(id, start);
+        }
+      } else {
+        // Promotion into a pass-1 slot (freed by starts, or the arrival
+        // itself): anchor exactly as rebuild() would.
+        const auto anchor = engine_.anchorOf(simulator, id);
+        if (anchor.startNow) {
+          simulator.startJob(id);
+        } else {
+          queue_.push_back(id);
+          guarantees_.emplace_back(id, anchor.start);
+          ledger_.addReservation(id, anchor.start, j.estimate, j.procs);
+        }
+      }
+    } else {
+      // Pass 2: unreserved jobs backfill iff their earliest anchor is now.
+      const auto anchor = engine_.anchorOf(simulator, id);
+      if (anchor.startNow) {
+        simulator.startJob(id);
+      } else {
+        queue_.push_back(id);
+      }
+    }
+  }
+  SPS_CHECK_MSG(consumed == oldGuarantees.size(),
+                "guarantee list out of sync with the queue prefix");
 }
 
 void DepthBackfill::rebuild(sim::Simulator& simulator) {
-  const Time now = simulator.now();
-
-  // Profile of running jobs' estimated remainders (same zombie handling as
-  // conservative backfilling: a job whose estimated end is exactly `now`
-  // counts as done; its completion event fires in this timestamp batch and
-  // triggers another rebuild).
-  AvailabilityProfile profile(now, simulator.machine().totalProcs());
-  for (JobId id : simulator.runningJobs()) {
-    const auto& x = simulator.exec(id);
-    const Time end = x.segStart + simulator.job(id).estimate;
-    profile.addBusy(now, end, simulator.job(id).procs);
+  // Drop every guarantee from the ledger before re-anchoring: job k must be
+  // anchored against running jobs + re-anchored jobs 0..k-1 only, never
+  // against later jobs' old slots. Zombie handling is conservative's: a job
+  // whose estimated end is exactly now() counts as done; its completion
+  // event fires in this timestamp batch and triggers another rebuild.
+  ledger_.refresh(simulator);
+  for (const auto& [id, start] : guarantees_) {
+    (void)start;
+    ledger_.removeReservation(id);
   }
 
   std::vector<std::pair<JobId, Time>> oldGuarantees;
   oldGuarantees.swap(guarantees_);
-  auto previousGuarantee = [&](JobId id) {
-    for (const auto& [job, start] : oldGuarantees)
-      if (job == id) return start;
-    return kTimeMax;  // never guaranteed: anything is an improvement
-  };
 
-  // Pass 1: (re-)anchor the first `depth` queued jobs in order. Guarantees
-  // must never regress — the old slot stays feasible by induction, exactly
-  // as in conservative compression.
+  // Pass-1 membership is positional (the first `depth` queued jobs), but
+  // the re-anchoring ORDER is increasing old guarantee, exactly as in
+  // conservative compression: a job re-anchored earlier only moves left,
+  // into times strictly before its old start and therefore before every
+  // later old start, so each job's old slot stays feasible and guarantees
+  // never regress. Queue order would break that — an earlier-queued job's
+  // improved anchor can steal the hole a later-queued job was anchored in.
+  // Guaranteed jobs are always the lowest-id prefix of the sorted queue,
+  // so a lockstep scan recovers each old guarantee; never-guaranteed slots
+  // (promotions) anchor last, in queue order.
   std::vector<JobId> pending;
   pending.swap(queue_);
-  std::size_t reserved = 0;
-  std::vector<JobId> backfillCandidates;
-  for (JobId id : pending) {
+  const std::size_t passOne =
+      std::min<std::size_t>(config_.depth, pending.size());
+  std::vector<std::pair<Time, JobId>> passOneOrder;
+  passOneOrder.reserve(passOne);
+  std::size_t consumed = 0;
+  for (std::size_t i = 0; i < passOne; ++i) {
+    Time previous = kTimeMax;  // never guaranteed: anything is an improvement
+    if (consumed < oldGuarantees.size() &&
+        oldGuarantees[consumed].first == pending[i]) {
+      previous = oldGuarantees[consumed++].second;
+    }
+    passOneOrder.emplace_back(previous, pending[i]);
+  }
+  SPS_CHECK_MSG(consumed == oldGuarantees.size(),
+                "guarantee list out of sync with the queue prefix");
+  std::stable_sort(passOneOrder.begin(), passOneOrder.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (const auto& [previous, id] : passOneOrder) {
     const auto& j = simulator.job(id);
-    if (reserved < config_.depth) {
-      const Time anchor = profile.findAnchor(now, j.estimate, j.procs);
-      SPS_CHECK_MSG(anchor <= previousGuarantee(id),
-                    "depth-backfill guarantee regressed for job " << id);
-      const bool startNow =
-          anchor == now && j.procs <= simulator.machine().freeCount();
-      if (startNow) {
-        simulator.startJob(id);
-      } else {
-        queue_.push_back(id);
-        guarantees_.emplace_back(id, anchor);
-      }
-      profile.addBusy(anchor, anchor + j.estimate, j.procs);
-      ++reserved;
+    const auto anchor = engine_.anchorOf(simulator, id);
+    SPS_CHECK_MSG(anchor.start <= previous,
+                  "depth-backfill guarantee regressed for job " << id);
+    if (anchor.startNow) {
+      simulator.startJob(id);
     } else {
-      backfillCandidates.push_back(id);
+      queue_.push_back(id);
+      guarantees_.emplace_back(id, anchor.start);
+      ledger_.addReservation(id, anchor.start, j.estimate, j.procs);
     }
   }
+  // Restore guarantees_ to queue-prefix (id) order — the lockstep scans
+  // above and in incrementalPass() depend on it.
+  std::sort(guarantees_.begin(), guarantees_.end());
+
+  std::vector<JobId> backfillCandidates(pending.begin() +
+                                            static_cast<std::ptrdiff_t>(passOne),
+                                        pending.end());
 
   // Pass 2: unreserved jobs backfill iff they fit *now* without delaying
   // any reservation — i.e. their earliest anchor against the profile
   // (running + all reservations + earlier backfills) is the present.
   for (JobId id : backfillCandidates) {
-    const auto& j = simulator.job(id);
-    const Time anchor = profile.findAnchor(now, j.estimate, j.procs);
-    if (anchor == now && j.procs <= simulator.machine().freeCount()) {
+    const auto anchor = engine_.anchorOf(simulator, id);
+    if (anchor.startNow) {
       simulator.startJob(id);
-      profile.addBusy(now, now + j.estimate, j.procs);
     } else {
       queue_.push_back(id);
     }

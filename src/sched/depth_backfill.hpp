@@ -11,13 +11,18 @@
 // backfilling against the predictability of conservative — a useful
 // non-preemptive axis to set next to SS, which abandons guarantees
 // entirely.
+//
+// Anchoring runs over the shared sched/core kernel (ReservationLedger +
+// BackfillEngine); this file keeps the depth cutoff and the two-pass
+// ordering.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <vector>
 
-#include "sched/availability_profile.hpp"
+#include "sched/core/backfill_engine.hpp"
+#include "sched/core/reservation_ledger.hpp"
 #include "sim/policy.hpp"
 
 namespace sps::sched {
@@ -25,6 +30,7 @@ namespace sps::sched {
 struct DepthConfig {
   /// Number of queued jobs holding reservations. >= 1.
   std::size_t depth = 2;
+  kernel::KernelMode kernelMode = kernel::KernelMode::Incremental;
 };
 
 inline constexpr std::size_t kUnlimitedDepth =
@@ -36,6 +42,7 @@ class DepthBackfill final : public sim::SchedulingPolicy {
 
   [[nodiscard]] std::string name() const override;
 
+  void onSimulationStart(sim::Simulator& simulator) override;
   void onJobArrival(sim::Simulator& simulator, JobId job) override;
   void onJobCompletion(sim::Simulator& simulator, JobId job) override;
   void onSimulationEnd(sim::Simulator& simulator) override;
@@ -50,7 +57,16 @@ class DepthBackfill final : public sim::SchedulingPolicy {
   /// against the resulting profile. Starts everything whose anchor is now.
   void rebuild(sim::Simulator& simulator);
 
+  /// Incremental-mode equivalent of rebuild() for events that leave the
+  /// availability function unchanged (every arrival; on-time completions):
+  /// existing guarantees are fixed points of pass 1, so they stay in the
+  /// ledger untouched. Only due guarantees (start == now), promotions into
+  /// freed pass-1 slots, and pass-2 candidates do any profile work.
+  void incrementalPass(sim::Simulator& simulator);
+
   DepthConfig config_;
+  kernel::ReservationLedger ledger_;
+  kernel::BackfillEngine engine_{ledger_};
   std::vector<JobId> queue_;  ///< submission order
   /// Guarantee per reserved job, parallel to the first entries of queue_.
   /// kNoTime marks "no guarantee recorded yet".

@@ -6,6 +6,11 @@
 
 namespace sps::sched {
 
+void EasyBackfill::onSimulationStart(sim::Simulator& simulator) {
+  ledger_.attach(simulator);
+  queue_.clear();
+}
+
 void EasyBackfill::enqueue(const sim::Simulator& simulator, JobId job) {
   if (config_.order == QueueOrder::Fcfs) {
     queue_.push_back(job);
@@ -26,6 +31,31 @@ void EasyBackfill::enqueue(const sim::Simulator& simulator, JobId job) {
 
 void EasyBackfill::onJobArrival(sim::Simulator& simulator, JobId job) {
   enqueue(simulator, job);
+  // Arrival fast path: an arrival changes neither the availability function
+  // nor free capacity, so when the pivot is unchanged the previous pass's
+  // verdicts stand — the pivot still cannot start, and every older
+  // candidate still fails its backfill test (its estimated finish only
+  // moved later against the same absolute shadow; a believed completion
+  // strictly between two events is impossible, so the shadow is the same
+  // absolute instant the last pass saw). Only the newcomer needs a test,
+  // and its start can only shrink capacity/extra, enabling nobody else.
+  // A zombie (running job whose believed end is exactly now) invalidates
+  // the argument — the shadow overlay can push the pivot's anchor later and
+  // un-fail older candidates — so that case takes the full pass, as does a
+  // newcomer that becomes the pivot (ShortestFirst insert at the head).
+  if (config_.kernelMode == kernel::KernelMode::Incremental &&
+      queue_.size() > 1 && queue_.front() != job) {
+    ledger_.refresh(simulator);
+    if (ledger_.zombieProcsAt(simulator.now()) == 0) {
+      const auto shadow = engine_.shadowOf(simulator, queue_.front());
+      if (engine_.canBackfill(simulator, job, shadow)) {
+        queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+        simulator.startJob(job);
+        ++backfills_;
+      }
+      return;
+    }
+  }
   schedulePass(simulator);
 }
 
@@ -34,8 +64,6 @@ void EasyBackfill::onJobCompletion(sim::Simulator& simulator, JobId /*job*/) {
 }
 
 void EasyBackfill::schedulePass(sim::Simulator& simulator) {
-  const Time now = simulator.now();
-
   // Phase 1: start jobs from the head while they fit.
   while (!queue_.empty() &&
          simulator.job(queue_.front()).procs <= simulator.freeCount()) {
@@ -46,38 +74,24 @@ void EasyBackfill::schedulePass(sim::Simulator& simulator) {
 
   // Phase 2: the head does not fit. Compute its shadow time and the extra
   // processors, then backfill. Restart the scan whenever a job starts, since
-  // free processors (and hence shadow/extra) change.
+  // free processors (and hence shadow/extra) change — the ledger follows
+  // each start through its observer, so the shadow query always sees the
+  // current machine.
   bool progress = true;
   while (progress && !queue_.empty()) {
     progress = false;
-
-    AvailabilityProfile profile(now, simulator.machine().totalProcs());
-    for (JobId id : simulator.runningJobs()) {
-      const auto& x = simulator.exec(id);
-      const Time end = x.segStart + simulator.job(id).estimate;
-      profile.addBusy(now, std::max(end, now + 1), simulator.job(id).procs);
-    }
-    const auto& head = simulator.job(queue_.front());
-    const Time shadow = profile.findAnchor(now, head.estimate, head.procs);
-    SPS_CHECK_MSG(shadow > now, "head fits now but phase 1 left it queued");
-    // Processors not needed by the head once it starts at the shadow time.
-    const std::uint32_t freeAtShadow = profile.freeAt(shadow);
-    SPS_CHECK(freeAtShadow >= head.procs);
-    const std::uint32_t extra = freeAtShadow - head.procs;
-
+    // Inside the loop so KernelMode::Rebuild reconstructs per restart, as
+    // the seed did; incremental refresh at an unchanged clock is a no-op.
+    ledger_.refresh(simulator);
+    const auto shadow = engine_.shadowOf(simulator, queue_.front());
     for (std::size_t i = 1; i < queue_.size(); ++i) {
       const JobId id = queue_[i];
-      const auto& j = simulator.job(id);
-      if (j.procs > simulator.freeCount()) continue;
-      const bool endsBeforeShadow = now + j.estimate <= shadow;
-      const bool fitsInExtra = j.procs <= extra;
-      if (endsBeforeShadow || fitsInExtra) {
-        simulator.startJob(id);
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
-        ++backfills_;
-        progress = true;
-        break;  // recompute shadow/extra with the new machine state
-      }
+      if (!engine_.canBackfill(simulator, id, shadow)) continue;
+      simulator.startJob(id);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++backfills_;
+      progress = true;
+      break;  // recompute shadow/extra with the new machine state
     }
   }
 }

@@ -10,11 +10,15 @@
 //       once the head job starts (the "extra" processors).
 //
 // This is the paper's "No Suspension (NS)" baseline for every evaluation.
+// The shadow/extra computation lives in sched/core's BackfillEngine over a
+// ReservationLedger; this file keeps only the queue discipline and the
+// scan-restart loop.
 #pragma once
 
 #include <vector>
 
-#include "sched/availability_profile.hpp"
+#include "sched/core/backfill_engine.hpp"
+#include "sched/core/reservation_ledger.hpp"
 #include "sim/policy.hpp"
 
 namespace sps::sched {
@@ -33,17 +37,20 @@ enum class QueueOrder {
 
 struct EasyConfig {
   QueueOrder order = QueueOrder::Fcfs;
+  kernel::KernelMode kernelMode = kernel::KernelMode::Incremental;
 };
 
 class EasyBackfill final : public sim::SchedulingPolicy {
  public:
   EasyBackfill() = default;
-  explicit EasyBackfill(EasyConfig config) : config_(config) {}
+  explicit EasyBackfill(EasyConfig config)
+      : config_(config), ledger_(config.kernelMode) {}
 
   [[nodiscard]] std::string name() const override {
     return config_.order == QueueOrder::Fcfs ? "EASY (NS)" : "SJF-BF";
   }
 
+  void onSimulationStart(sim::Simulator& simulator) override;
   void onJobArrival(sim::Simulator& simulator, JobId job) override;
   void onJobCompletion(sim::Simulator& simulator, JobId job) override;
   void onSimulationEnd(sim::Simulator& simulator) override;
@@ -57,6 +64,8 @@ class EasyBackfill final : public sim::SchedulingPolicy {
   void enqueue(const sim::Simulator& simulator, JobId job);
 
   EasyConfig config_;
+  kernel::ReservationLedger ledger_;
+  kernel::BackfillEngine engine_{ledger_};
   std::vector<JobId> queue_;  ///< FCFS or shortest-first, per config
   std::uint64_t backfills_ = 0;
 };

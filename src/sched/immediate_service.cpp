@@ -6,8 +6,14 @@
 
 namespace sps::sched {
 
-ImmediateService::ImmediateService(IsConfig config) : config_(config) {
+ImmediateService::ImmediateService(IsConfig config)
+    : config_(config),
+      waitingIndex_(kernel::IndexOrder::SubmitAsc, config.kernelMode) {
   SPS_CHECK_MSG(config_.quantum > 0, "IS quantum must be positive");
+}
+
+void ImmediateService::onSimulationStart(sim::Simulator& /*simulator*/) {
+  waitingIndex_.reset();
 }
 
 bool ImmediateService::inFirstQuantum(const sim::Simulator& s,
@@ -124,16 +130,7 @@ void ImmediateService::dispatch(sim::Simulator& simulator) {
 
   // Single greedy pass over all waiting work in submission order. Starts
   // and resumptions only consume processors, so one pass is complete.
-  std::vector<JobId> waiting(simulator.queuedJobs());
-  for (JobId id : simulator.suspendedJobs())
-    if (simulator.exec(id).state == sim::JobState::Suspended)
-      waiting.push_back(id);
-  std::sort(waiting.begin(), waiting.end(),
-            [&simulator](JobId a, JobId b) {
-              if (simulator.job(a).submit != simulator.job(b).submit)
-                return simulator.job(a).submit < simulator.job(b).submit;
-              return a < b;
-            });
+  const std::vector<JobId> waiting = waitingIndex_.idle(simulator);
   sim::ProcSet owed;
   for (JobId s : simulator.suspendedJobs())
     if (simulator.exec(s).state == sim::JobState::Suspended)

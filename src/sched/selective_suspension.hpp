@@ -35,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "sched/core/priority_index.hpp"
 #include "sim/policy.hpp"
 #include "sim/procset.hpp"
 #include "workload/category.hpp"
@@ -92,6 +93,10 @@ struct SsConfig {
   /// completions. Mutually exclusive with tssLimits.
   std::optional<double> tssOnlineMultiplier;
   std::size_t tssOnlineMinSamples = 20;
+
+  /// Maintenance mode of the kernel priority index (sched/core). Rebuild
+  /// re-sorts the idle set on every walk, as the seed implementation did.
+  kernel::KernelMode kernelMode = kernel::KernelMode::Incremental;
 };
 
 class SelectiveSuspension final : public sim::SchedulingPolicy {
@@ -143,10 +148,11 @@ class SelectiveSuspension final : public sim::SchedulingPolicy {
                                     std::uint32_t preemptorWidth,
                                     bool reentry) const;
 
-  /// Idle jobs (non-claimant Queued + Suspended) ordered by descending
-  /// priority; ties broken by submit time then id for determinism.
-  [[nodiscard]] std::vector<JobId> idleByPriority(
-      const sim::Simulator& s) const;
+  /// Idle jobs (Queued + Suspended) ordered by descending priority; ties
+  /// broken by submit time then id for determinism. Snapshot of the kernel
+  /// priority index; callers skip claimants (and anything that changed
+  /// state mid-walk) at the point of use.
+  [[nodiscard]] std::vector<JobId> idleByPriority(const sim::Simulator& s);
 
   /// Start/resume everything that fits on unclaimed free processors,
   /// claimants first. Runs on every event.
@@ -159,6 +165,7 @@ class SelectiveSuspension final : public sim::SchedulingPolicy {
   void armTick(sim::Simulator& simulator);
 
   SsConfig config_;
+  kernel::PriorityIndex idleIndex_;
   std::vector<Claim> claims_;
   bool tickArmed_ = false;
   std::uint64_t preemptions_ = 0;

@@ -25,7 +25,8 @@ Simulator::Simulator(const workload::Trace& trace, SchedulingPolicy& policy,
       policy_(policy),
       config_(config),
       machine_(trace.machineProcs),
-      exec_(trace.jobs.size()) {
+      exec_(trace.jobs.size()),
+      listPos_(trace.jobs.size(), 0) {
   workload::validateTrace(trace_);
   unfinished_ = static_cast<std::uint32_t>(trace_.jobs.size());
   firstSubmit_ = trace_.jobs.empty() ? 0 : trace_.jobs.front().submit;
@@ -46,6 +47,7 @@ void Simulator::run() {
       busyAtLastSubmit_ = machine_.busyProcSeconds(lastSubmit_);
       steadySnapshotTaken_ = true;
     }
+    if (e.time != now_) ++epoch_;
     now_ = e.time;
     ++eventsProcessed_;
     switch (e.type) {
@@ -74,7 +76,7 @@ void Simulator::handleArrival(JobId id) {
   x.state = JobState::Queued;
   x.remainingWork = job(id).runtime;
   x.waitSince = now_;
-  queued_.push_back(id);
+  addTo(queued_, id);
   notifyStateChange(id, JobState::NotArrived, JobState::Queued);
   policy_.onJobArrival(*this, id);
 }
@@ -123,7 +125,7 @@ void Simulator::beginSegment(JobId id) {
     SPS_CHECK(x.segOverhead >= 0);
   }
   if (x.firstStart == kNoTime) x.firstStart = now_;
-  running_.push_back(id);
+  addTo(running_, id);
   events_.push(now_ + x.segOverhead + x.remainingWork,
                EventType::JobCompletion, id, x.completionGen);
   notifyStateChange(id, from, JobState::Running);
@@ -216,7 +218,7 @@ void Simulator::suspendJob(JobId id) {
   x.segStart = kNoTime;
   x.waitSince = now_;  // wait (and thus xfactor) accrues while suspended
   removeFrom(running_, id);
-  suspended_.push_back(id);
+  addTo(suspended_, id);
   Time drain = 0;
   if (config_.overhead != nullptr) {
     drain = config_.overhead->suspendOverhead(id);
@@ -234,8 +236,10 @@ void Simulator::suspendJob(JobId id) {
   }
 }
 
-void Simulator::notifyStateChange(JobId id, JobState from,
-                                  JobState to) const {
+void Simulator::notifyStateChange(JobId id, JobState from, JobState to) {
+  ++epoch_;
+  for (const StateChangeHook& observer : observers_)
+    observer(*this, id, from, to);
   if (stateChangeHook_) stateChangeHook_(*this, id, from, to);
 }
 
@@ -277,10 +281,20 @@ double Simulator::instantaneousXfactor(JobId id) const {
   return (static_cast<double>(accumulatedWait(id)) + run) / run;
 }
 
+void Simulator::addTo(std::vector<JobId>& list, JobId id) {
+  listPos_[id] = list.size();
+  list.push_back(id);
+}
+
 void Simulator::removeFrom(std::vector<JobId>& list, JobId id) {
-  auto it = std::find(list.begin(), list.end(), id);
-  SPS_CHECK_MSG(it != list.end(), "job " << id << " missing from state list");
-  list.erase(it);
+  const std::size_t pos = listPos_[id];
+  SPS_CHECK_MSG(pos < list.size() && list[pos] == id,
+                "job " << id << " missing from state list");
+  // Swap-and-pop: O(1), at the cost of list order — which the accessors
+  // already declare meaningless (policies must impose their own order).
+  list[pos] = list.back();
+  listPos_[list[pos]] = pos;
+  list.pop_back();
 }
 
 void Simulator::auditState() const {

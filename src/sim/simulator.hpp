@@ -99,6 +99,13 @@ class Simulator {
   [[nodiscard]] std::uint32_t freeCount() const { return machine_.freeCount(); }
   [[nodiscard]] const ProcSet& freeSet() const { return machine_.freeSet(); }
 
+  /// Monotone change counter: bumped whenever the clock advances and on
+  /// every job state transition. Two reads of scheduler-visible state made
+  /// at the same epoch are guaranteed identical, so incremental caches
+  /// (sched/core's ReservationLedger and PriorityIndex) key on it instead
+  /// of recomputing per query.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   // --- job sets (unordered; copy before calling any mutating action) ----
   [[nodiscard]] const std::vector<JobId>& queuedJobs() const { return queued_; }
   [[nodiscard]] const std::vector<JobId>& runningJobs() const {
@@ -190,14 +197,23 @@ class Simulator {
   void setStateChangeHook(StateChangeHook hook) {
     stateChangeHook_ = std::move(hook);
   }
+  /// Additional transition observers, independent of the user hook slot
+  /// above — the scheduling kernel (sched/core) registers its incremental
+  /// ledger here without clobbering a caller's setStateChangeHook. Observers
+  /// fire before the user hook, in registration order, and cannot be
+  /// removed (they live exactly as long as the policy driving the run).
+  void addStateChangeObserver(StateChangeHook observer) {
+    observers_.push_back(std::move(observer));
+  }
 
  private:
   void handleArrival(JobId id);
   void handleCompletion(JobId id, std::uint64_t generation);
   void handleSuspendDrained(JobId id);
   void beginSegment(JobId id);
-  void notifyStateChange(JobId id, JobState from, JobState to) const;
-  static void removeFrom(std::vector<JobId>& list, JobId id);
+  void notifyStateChange(JobId id, JobState from, JobState to);
+  void addTo(std::vector<JobId>& list, JobId id);
+  void removeFrom(std::vector<JobId>& list, JobId id);
 
   const workload::Trace& trace_;
   SchedulingPolicy& policy_;
@@ -208,6 +224,10 @@ class Simulator {
   std::vector<JobId> queued_;
   std::vector<JobId> running_;
   std::vector<JobId> suspended_;
+  /// Position of each job in whichever of the three lists holds it (a job
+  /// is in at most one at a time). Lets removeFrom swap-and-pop in O(1) —
+  /// which is why the lists are documented as unordered.
+  std::vector<std::size_t> listPos_;
   Time now_ = 0;
   Time firstSubmit_ = 0;
   Time lastSubmit_ = 0;
@@ -216,8 +236,10 @@ class Simulator {
   bool steadySnapshotTaken_ = false;
   std::uint64_t totalSuspensions_ = 0;
   std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t epoch_ = 0;
   std::uint32_t unfinished_ = 0;
   StateChangeHook stateChangeHook_;
+  std::vector<StateChangeHook> observers_;
 };
 
 }  // namespace sps::sim
