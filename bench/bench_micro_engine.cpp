@@ -18,6 +18,7 @@
 
 #include "core/simulation.hpp"
 #include "metrics/json.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "workload/synthetic.hpp"
@@ -77,6 +78,7 @@ struct Lane {
   double wallSeconds = 0.0;
   double eventsPerSec = 0.0;
   std::uint64_t events = 0;
+  obs::Counters counters;  ///< identical across repeats (deterministic)
 };
 
 Lane timeLane(const workload::Trace& trace, const core::PolicySpec& spec,
@@ -91,6 +93,7 @@ Lane timeLane(const workload::Trace& trace, const core::PolicySpec& spec,
       best.wallSeconds = wall;
       best.events = stats.eventsProcessed;
       best.eventsPerSec = static_cast<double>(stats.eventsProcessed) / wall;
+      best.counters = stats.counters;
     }
   }
   return best;
@@ -105,6 +108,15 @@ std::size_t sweepJobs() {
 }
 
 void runKernelSweep() {
+  if (obs::kTraceCompiledIn) {
+    // A -DSPS_TRACE=ON build carries per-event trace branches in the hot
+    // path; numbers from it are not comparable to (and must not overwrite)
+    // the reference BENCH_engine.json. Counters alone are part of the
+    // measured configuration and stay in.
+    std::cout << "kernel sweep: skipped — tracing compiled in "
+                 "(SPS_TRACE=ON); refusing to write BENCH_engine.json\n";
+    return;
+  }
   const std::size_t jobs = sweepJobs();
   const int repeats = 3;
   // High-load SDSC: the regime where the availability profile is largest
@@ -169,11 +181,15 @@ void runKernelSweep() {
     w.field("wallSeconds", reb.wallSeconds);
     w.field("eventsPerSec", reb.eventsPerSec);
     w.field("events", reb.events);
+    w.key("counters");
+    metrics::writeCountersJson(w, reb.counters);
     w.endObject();
     w.key("incremental").beginObject();
     w.field("wallSeconds", inc.wallSeconds);
     w.field("eventsPerSec", inc.eventsPerSec);
     w.field("events", inc.events);
+    w.key("counters");
+    metrics::writeCountersJson(w, inc.counters);
     w.endObject();
     w.field("speedup", speedup);
     w.endObject();

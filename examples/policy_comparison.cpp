@@ -1,9 +1,13 @@
 // Policy comparison: the scenario from the paper's introduction — a
 // supercomputer center asking whether preemptive scheduling is worth it.
-// Runs all five schedulers (FCFS, conservative backfilling, EASY, Selective
-// Suspension, Immediate Service) on the same workload and prints the paper's
-// metrics side by side. The schedulers run concurrently on a core::Runner;
-// flag parsing is the shared core::CliConfig.
+// Runs the classic scheme set (core::classicSchemeSet: FCFS, conservative
+// backfilling, EASY, Selective Suspension, Immediate Service, Gang, SJF-BF)
+// on the same workload and prints the paper's metrics side by side. The
+// schedulers run concurrently on a core::Runner; flag parsing is the shared
+// core::CliConfig.
+//
+// This example is an alias for `sps_sim compare --set classic`; it remains
+// as a minimal-code walkthrough of the experiment API.
 //
 // Usage:
 //   policy_comparison [jobs] [machine] [--threads N]
@@ -49,29 +53,9 @@ int main(int argc, char** argv) {
             << " jobs on " << trace.machineProcs << " processors (offered load "
             << formatFixed(workload::offeredLoad(trace), 2) << ")\n\n";
 
-  std::vector<core::PolicySpec> specs;
-  for (auto [kind, label] :
-       {std::pair{core::PolicyKind::Fcfs, "FCFS"},
-        std::pair{core::PolicyKind::Conservative, "Conservative"},
-        std::pair{core::PolicyKind::Easy, "EASY (NS)"},
-        std::pair{core::PolicyKind::SelectiveSuspension, "SS (SF=2)"},
-        std::pair{core::PolicyKind::ImmediateService, "IS"},
-        std::pair{core::PolicyKind::Gang, "Gang(4)"}}) {
-    core::PolicySpec s;
-    s.kind = kind;
-    s.label = label;
-    specs.push_back(s);
-  }
-  {
-    core::PolicySpec sjf;
-    sjf.kind = core::PolicyKind::Easy;
-    sjf.easy.order = sched::QueueOrder::ShortestFirst;
-    sjf.label = "SJF-BF";
-    specs.push_back(sjf);
-  }
-
   core::Runner runner({.threads = threads});
-  const auto runs = core::compareSchemes(runner, trace, specs);
+  const auto runs =
+      core::compareSchemes(runner, trace, core::classicSchemeSet());
 
   Table t({"policy", "avg slowdown", "avg turnaround", "worst slowdown",
            "utilization", "suspensions"});

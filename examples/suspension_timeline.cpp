@@ -46,8 +46,8 @@ void renderTwoTasks(double sf, Time length) {
   std::vector<std::vector<Segment>> segments(2);
   std::vector<Time> runningSince(2, kNoTime);
   sim::Simulator s(trace, policy);
-  s.setStateChangeHook([&](const sim::Simulator& sim, JobId id,
-                           sim::JobState, sim::JobState to) {
+  s.observers().onStateChange([&](const sim::Simulator& sim, JobId id,
+                                  sim::JobState, sim::JobState to) {
     if (to == sim::JobState::Running) {
       runningSince[id] = sim.now();
     } else if (runningSince[id] != kNoTime) {

@@ -120,4 +120,78 @@ void CliConfig::printUsage(std::ostream& os) const {
      << "show this message\n";
 }
 
+CliCommands::CliCommands(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+CliConfig& CliCommands::command(std::string name, std::string summary) {
+  SPS_CHECK_MSG(find(name) == nullptr, "duplicate command " << name);
+  std::string qualified = program_ + " " + name;
+  // Braced-init evaluates left to right: the summary copy lands in the
+  // Command before the move hands it to the per-command CliConfig.
+  commands_.push_back(Command{std::move(name), summary,
+                              CliConfig(std::move(qualified),
+                                        std::move(summary))});
+  return commands_.back().config;
+}
+
+void CliCommands::setDefault(std::string name) {
+  SPS_CHECK_MSG(find(name) != nullptr, "default names no command: " << name);
+  default_ = std::move(name);
+}
+
+CliConfig* CliCommands::find(std::string_view name) {
+  for (Command& c : commands_)
+    if (c.name == name) return &c.config;
+  return nullptr;
+}
+
+const CliConfig* CliCommands::find(std::string_view name) const {
+  for (const Command& c : commands_)
+    if (c.name == name) return &c.config;
+  return nullptr;
+}
+
+CliCommands::Outcome CliCommands::parse(int argc,
+                                        const char* const* argv) const {
+  SPS_CHECK_MSG(!commands_.empty(), "no commands registered");
+  const std::string_view first = argc >= 2 ? argv[1] : std::string_view{};
+  if (first == "--help" || first == "-h")
+    return {.command = {}, .helpRequested = true};
+  if (!first.empty() && first.front() != '-') {
+    const CliConfig* config = find(first);
+    if (config == nullptr)
+      throw InputError("unknown command: " + std::string(first) +
+                       " (see " + program_ + " --help)");
+    // Shift so the command word plays argv[0] for the sub-parse.
+    const auto outcome = config->parse(argc - 1, argv + 1);
+    return {.command = std::string(first),
+            .helpRequested = outcome.helpRequested};
+  }
+  SPS_CHECK_MSG(!default_.empty(), "no default command set");
+  const CliConfig* config = find(default_);
+  const auto outcome = config->parse(argc, argv);
+  return {.command = default_, .helpRequested = outcome.helpRequested};
+}
+
+void CliCommands::printUsage(std::ostream& os, std::string_view name) const {
+  if (!name.empty()) {
+    const CliConfig* config = find(name);
+    SPS_CHECK_MSG(config != nullptr, "unknown command: " << name);
+    config->printUsage(os);
+    return;
+  }
+  os << program_ << " — " << summary_ << "\n";
+  os << "\nUsage: " << program_ << " <command> [options]\n\nCommands:\n";
+  std::size_t width = 0;
+  for (const Command& c : commands_) width = std::max(width, c.name.size());
+  for (const Command& c : commands_) {
+    os << "  " << c.name;
+    for (std::size_t pad = c.name.size(); pad < width + 2; ++pad) os << ' ';
+    os << c.summary;
+    if (c.name == default_) os << " (default)";
+    os << "\n";
+  }
+  os << "\nRun '" << program_ << " <command> --help' for command options.\n";
+}
+
 }  // namespace sps::core

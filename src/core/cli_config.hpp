@@ -17,6 +17,7 @@
 
 #include <charconv>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <optional>
@@ -139,6 +140,65 @@ class CliConfig {
   std::vector<std::string> sections_;
   std::vector<Option> options_;
   std::vector<Positional> positionals_;
+};
+
+/// Subcommand dispatcher layered on CliConfig: `tool <command> [options]`.
+///
+/// Each registered command owns a full CliConfig (sections, flags,
+/// positionals); parse() routes on argv[1] and hands the remaining
+/// arguments to that command's config. A bare word that names no command is
+/// an InputError; a missing or flag-like first argument selects the default
+/// command, so pre-subcommand invocations (`tool --preset ctc`) keep
+/// working.
+///
+///   core::CliCommands cli("sps_sim", "parallel job scheduling simulator");
+///   CliConfig& run = cli.command("run", "simulate one policy");
+///   run.option("--preset", &opt.preset, "NAME", "synthetic preset");
+///   cli.setDefault("run");
+///   const auto outcome = cli.parse(argc, argv);
+///   if (outcome.helpRequested) { cli.printUsage(std::cout, outcome.command); ... }
+class CliCommands {
+ public:
+  CliCommands(std::string program, std::string summary);
+
+  /// Register a subcommand and return its CliConfig for flag declarations.
+  /// The reference stays valid for the dispatcher's lifetime.
+  CliConfig& command(std::string name, std::string summary);
+
+  /// Command used when argv[1] is absent or starts with '-'. Must name a
+  /// registered command before parse().
+  void setDefault(std::string name);
+
+  struct Outcome {
+    /// Selected command; empty when help was requested at the top level
+    /// (before any command word).
+    std::string command;
+    bool helpRequested = false;
+  };
+
+  /// Dispatch on argv[1], then parse the remainder with the selected
+  /// command's CliConfig. Throws InputError for an unknown command word.
+  [[nodiscard]] Outcome parse(int argc, const char* const* argv) const;
+
+  /// Empty `name`: the top-level command list. Otherwise that command's
+  /// full option usage.
+  void printUsage(std::ostream& os, std::string_view name = {}) const;
+
+  [[nodiscard]] CliConfig* find(std::string_view name);
+  [[nodiscard]] const CliConfig* find(std::string_view name) const;
+
+ private:
+  struct Command {
+    std::string name;
+    std::string summary;
+    CliConfig config;
+  };
+
+  std::string program_;
+  std::string summary_;
+  std::string default_;
+  /// deque, not vector: command() hands out references into it.
+  std::deque<Command> commands_;
 };
 
 }  // namespace sps::core

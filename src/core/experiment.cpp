@@ -159,4 +159,26 @@ std::vector<PolicySpec> tssSchemeSet(
   return specs;
 }
 
+std::vector<PolicySpec> classicSchemeSet() {
+  std::vector<PolicySpec> specs;
+  for (auto [kind, label] :
+       {std::pair{PolicyKind::Fcfs, "FCFS"},
+        std::pair{PolicyKind::Conservative, "Conservative"},
+        std::pair{PolicyKind::Easy, "EASY (NS)"},
+        std::pair{PolicyKind::SelectiveSuspension, "SS (SF=2)"},
+        std::pair{PolicyKind::ImmediateService, "IS"},
+        std::pair{PolicyKind::Gang, "Gang(4)"}}) {
+    PolicySpec spec;
+    spec.kind = kind;
+    spec.label = label;
+    specs.push_back(std::move(spec));
+  }
+  PolicySpec sjf;
+  sjf.kind = PolicyKind::Easy;
+  sjf.easy.order = sched::QueueOrder::ShortestFirst;
+  sjf.label = "SJF-BF";
+  specs.push_back(std::move(sjf));
+  return specs;
+}
+
 }  // namespace sps::core

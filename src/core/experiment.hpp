@@ -67,5 +67,9 @@ struct LoadPoint {
 /// TSS at SF in {1.5, 2, 5} plus NS plus IS, calibrated on `limits`.
 [[nodiscard]] std::vector<PolicySpec> tssSchemeSet(
     const std::array<double, workload::kNumCategories16>& limits);
+/// The introduction's every-scheduler line-up: FCFS, Conservative, EASY
+/// (NS), SS(2), IS, Gang(4), SJF-BF — what `sps_sim compare --set classic`
+/// and the policy_comparison example run.
+[[nodiscard]] std::vector<PolicySpec> classicSchemeSet();
 
 }  // namespace sps::core

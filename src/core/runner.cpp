@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace sps::core {
@@ -41,11 +42,29 @@ RunResult Runner::execute(const RunRequest& request, std::size_t index) {
       request.label.empty() ? policyLabel(request.spec) : request.label;
   const auto start = std::chrono::steady_clock::now();
   result.stats = runSimulation(*request.trace, request.spec, request.options);
-  result.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  const auto end = std::chrono::steady_clock::now();
+  result.wallSeconds = std::chrono::duration<double>(end - start).count();
   result.policyName = result.stats.policyName;
   result.traceName = result.stats.traceName;
+#if SPS_TRACE_ON
+  // Task-lifecycle span: wall-clock timebase (unlike the sim-time events
+  // inside the run), one lane per request index so concurrent tasks stack
+  // in the viewer. The local Recorder borrows the request's sink; the label
+  // string outlives the synchronous emit.
+  if (request.options.traceSink != nullptr) {
+    obs::Recorder lifecycle(request.options.traceSink);
+    const auto startUs = std::chrono::duration_cast<std::chrono::microseconds>(
+        start.time_since_epoch());
+    const auto durUs =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start);
+    SPS_TRACE(&lifecycle,
+              obs::complete("runner", result.label.c_str(), startUs.count(),
+                            durUs.count(), index)
+                  .arg("events",
+                       static_cast<std::int64_t>(result.stats.eventsProcessed))
+                  .arg("seed", static_cast<std::int64_t>(result.seed)));
+  }
+#endif
   return result;
 }
 

@@ -51,8 +51,12 @@ metrics::RunStats runSimulation(const workload::Trace& trace,
                                 const PolicySpec& spec,
                                 const SimulationOptions& options) {
   auto policy = makePolicy(spec);
+  // One Recorder per run: counters stay per-simulation (thread-count
+  // invariant under core::Runner) even when many runs share one sink.
+  obs::Recorder recorder(options.traceSink);
   sim::Simulator::Config config;
   config.overhead = options.overhead;
+  config.recorder = &recorder;
   sim::Simulator simulator(trace, *policy, config);
   simulator.run();
   return metrics::collect(simulator, policyLabel(spec));

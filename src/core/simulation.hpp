@@ -14,6 +14,7 @@
 #include <string>
 
 #include "metrics/collector.hpp"
+#include "obs/trace_sink.hpp"
 #include "sched/conservative.hpp"
 #include "sched/depth_backfill.hpp"
 #include "sched/easy.hpp"
@@ -52,6 +53,11 @@ struct PolicySpec {
 struct SimulationOptions {
   /// Suspension/restart cost model; nullptr = free preemption.
   const sim::OverheadPolicy* overhead = nullptr;
+  /// Structured-trace destination. Events only flow in builds configured
+  /// with -DSPS_TRACE=ON (obs::kTraceCompiledIn); counters are collected
+  /// either way. The sink must be thread-safe when the same options are
+  /// shared across core::Runner workers — the bundled sinks are.
+  obs::TraceSink* traceSink = nullptr;
 };
 
 /// Instantiate the policy a spec describes.

@@ -79,6 +79,7 @@ RunStats collect(const sim::Simulator& simulator,
   }
   stats.suspensions = simulator.totalSuspensions();
   stats.eventsProcessed = simulator.eventsProcessed();
+  stats.counters = simulator.counters();
   return stats;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "metrics/job_record.hpp"
+#include "obs/counters.hpp"
 #include "sim/simulator.hpp"
 
 namespace sps::metrics {
@@ -27,6 +28,9 @@ struct RunStats {
   Time span = 0;
   std::uint64_t suspensions = 0;
   std::uint64_t eventsProcessed = 0;
+  /// The run's obs counter block (always collected; counting is on in every
+  /// build, only the SPS_TRACE event layer is compile-gated).
+  obs::Counters counters;
 
   [[nodiscard]] double meanBoundedSlowdown() const;
   [[nodiscard]] double meanTurnaround() const;

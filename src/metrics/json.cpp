@@ -150,6 +150,23 @@ void writeJobResultJson(JsonWriter& w, const JobResult& job) {
       .endObject();
 }
 
+void writeCountersJson(JsonWriter& w, const obs::Counters& counters) {
+  w.beginObject();
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    if (counters.value(c) != 0) w.field(obs::counterName(c), counters.value(c));
+  }
+  bool anyCategory = false;
+  for (const std::uint64_t v : counters.suspensionsByCategory())
+    anyCategory = anyCategory || v != 0;
+  if (anyCategory) {
+    w.key("suspensionsByCategory").beginArray();
+    for (const std::uint64_t v : counters.suspensionsByCategory()) w.value(v);
+    w.endArray();
+  }
+  w.endObject();
+}
+
 void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
                        const JsonOptions& options) {
   w.beginObject()
@@ -164,6 +181,10 @@ void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
       .field("span", stats.span)
       .field("suspensions", stats.suspensions)
       .field("eventsProcessed", stats.eventsProcessed);
+  if (stats.counters.anyNonZero()) {
+    w.key("counters");
+    writeCountersJson(w, stats.counters);
+  }
   if (options.includeJobs) {
     w.key("jobs").beginArray();
     for (const JobResult& job : stats.jobs) writeJobResultJson(w, job);
@@ -182,6 +203,196 @@ std::string runStatsJson(const RunStats& stats, const JsonOptions& options) {
   std::ostringstream os;
   writeRunStatsJson(os, stats, options);
   return os.str();
+}
+
+namespace {
+
+/// Recursive-descent RFC 8259 syntax checker. Values only — no DOM, no
+/// allocation; depth is bounded to keep malicious input from overflowing
+/// the stack.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool run(std::string* error) {
+    skipWs();
+    if (!parseValue()) return report(error);
+    skipWs();
+    if (pos_ != text_.size()) {
+      message_ = "trailing content after top-level value";
+      return report(error);
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 512;
+
+  bool report(std::string* error) const {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << message_ << " at byte " << pos_;
+      *error = os.str();
+    }
+    return false;
+  }
+
+  bool err(std::string message) {
+    message_ = std::move(message);
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool peekIs(char c) const {
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool consume(char c) {
+    if (!peekIs(c)) return err(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] bool digitAt() const {
+    return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+  }
+
+  [[nodiscard]] static bool hexDigit(char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  }
+
+  bool parseValue() {
+    if (++depth_ > kMaxDepth) return err("nesting too deep");
+    skipWs();
+    if (pos_ >= text_.size()) return err("unexpected end of input");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{': ok = parseObject(); break;
+      case '[': ok = parseArray(); break;
+      case '"': ok = parseString(); break;
+      case 't': ok = parseLiteral("true"); break;
+      case 'f': ok = parseLiteral("false"); break;
+      case 'n': ok = parseLiteral("null"); break;
+      default: ok = parseNumber(); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return err("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseObject() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peekIs('}')) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!peekIs('"')) return err("expected object key");
+      if (!parseString()) return false;
+      skipWs();
+      if (!consume(':')) return false;
+      if (!parseValue()) return false;
+      skipWs();
+      if (peekIs(',')) {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parseArray() {
+    ++pos_;  // '['
+    skipWs();
+    if (peekIs(']')) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!parseValue()) return false;
+      skipWs();
+      if (peekIs(',')) {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parseString() {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const auto c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return err("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (std::size_t i = 1; i <= 4; ++i)
+            if (pos_ + i >= text_.size() || !hexDigit(text_[pos_ + i]))
+              return err("bad \\u escape");
+          pos_ += 4;
+        } else if (std::string_view(R"("\/bfnrt)").find(e) ==
+                   std::string_view::npos) {
+          return err("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return err("unterminated string");
+  }
+
+  bool parseNumber() {
+    if (peekIs('-')) ++pos_;
+    if (peekIs('0')) {
+      ++pos_;  // no leading zeros
+    } else if (digitAt()) {
+      while (digitAt()) ++pos_;
+    } else {
+      return err("expected a value");
+    }
+    if (peekIs('.')) {
+      ++pos_;
+      if (!digitAt()) return err("digits required after decimal point");
+      while (digitAt()) ++pos_;
+    }
+    if (peekIs('e') || peekIs('E')) {
+      ++pos_;
+      if (peekIs('+') || peekIs('-')) ++pos_;
+      if (!digitAt()) return err("digits required in exponent");
+      while (digitAt()) ++pos_;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+bool validateJson(std::string_view text, std::string* error) {
+  return JsonValidator(text).run(error);
 }
 
 }  // namespace sps::metrics

@@ -65,6 +65,11 @@ class JsonWriter {
 };
 
 void writeJobResultJson(JsonWriter& w, const JobResult& job);
+/// Counter block as one object: non-zero scalar counters keyed by
+/// obs::counterName (enum order), plus a "suspensionsByCategory" array when
+/// any Table-I slot is non-zero. Zero counters are omitted so compact runs
+/// stay compact.
+void writeCountersJson(JsonWriter& w, const obs::Counters& counters);
 void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
                        const JsonOptions& options = {});
 
@@ -72,5 +77,13 @@ void writeRunStatsJson(std::ostream& os, const RunStats& stats,
                        const JsonOptions& options = {});
 [[nodiscard]] std::string runStatsJson(const RunStats& stats,
                                        const JsonOptions& options = {});
+
+/// Strict RFC 8259 syntax check over a complete document (one value, no
+/// trailing content). Used by tests and tools to verify emitted output —
+/// including chrome://tracing files — without an external JSON dependency.
+/// On failure, `error` (when non-null) receives a message with the byte
+/// offset of the first problem.
+[[nodiscard]] bool validateJson(std::string_view text,
+                                std::string* error = nullptr);
 
 }  // namespace sps::metrics

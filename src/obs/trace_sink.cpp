@@ -1,0 +1,95 @@
+#include "obs/trace_sink.hpp"
+
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+#include "metrics/json.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace sps::obs {
+
+namespace {
+
+/// Serialize one event as a compact JSON object. A fresh JsonWriter per
+/// event keeps the writer state local; inter-event commas/newlines are the
+/// caller's (they differ between the Chrome array and JSONL framing).
+void writeEventObject(std::ostream& os, const TraceEvent& event) {
+  metrics::JsonWriter w(os, /*indent=*/0);
+  const char ph[2] = {static_cast<char>(event.phase), '\0'};
+  w.beginObject()
+      .field("ph", static_cast<const char*>(ph))
+      .field("cat", event.category)
+      .field("name", event.name)
+      .field("ts", event.ts);
+  if (event.phase == TraceEvent::Phase::Complete) w.field("dur", event.dur);
+  w.field("pid", std::uint64_t{0}).field("tid", event.lane);
+  if (event.argCount > 0 || event.strValue != nullptr) {
+    w.key("args").beginObject();
+    for (std::size_t i = 0; i < event.argCount; ++i)
+      w.field(event.args[i].key, event.args[i].value);
+    if (event.strValue != nullptr) w.field(event.strKey, event.strValue);
+    w.endObject();
+  }
+  w.endObject();
+}
+
+std::unique_ptr<std::ostream> openTraceFile(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) throw InputError("cannot open trace file: " + path);
+  return file;
+}
+
+}  // namespace
+
+TraceSink::~TraceSink() = default;
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& os) : os_(os) {
+  const std::lock_guard<std::mutex> lock(detail::ioMutex());
+  os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(openTraceFile(path)), os_(*owned_) {
+  const std::lock_guard<std::mutex> lock(detail::ioMutex());
+  os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  const std::lock_guard<std::mutex> lock(detail::ioMutex());
+  if (count_ > 0) os_ << '\n';
+  os_ << "],\"displayTimeUnit\":\"ms\"}\n";
+  os_.flush();
+}
+
+void ChromeTraceSink::emit(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(detail::ioMutex());
+  os_ << (count_ == 0 ? "\n" : ",\n");
+  writeEventObject(os_, event);
+  ++count_;
+}
+
+void ChromeTraceSink::flush() {
+  const std::lock_guard<std::mutex> lock(detail::ioMutex());
+  os_.flush();
+}
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(os) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(openTraceFile(path)), os_(*owned_) {}
+
+void JsonlSink::emit(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(detail::ioMutex());
+  writeEventObject(os_, event);
+  os_ << '\n';
+  ++count_;
+}
+
+void JsonlSink::flush() {
+  const std::lock_guard<std::mutex> lock(detail::ioMutex());
+  os_.flush();
+}
+
+}  // namespace sps::obs

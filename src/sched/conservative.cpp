@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace sps::sched {
@@ -52,6 +53,7 @@ void ConservativeBackfill::onJobCompletion(sim::Simulator& simulator,
   // equivalence suite pins the two lanes to identical schedules.
   if (config_.kernelMode == kernel::KernelMode::Incremental &&
       kernel::completionPreservesProfile(simulator, job)) {
+    simulator.counters().inc(obs::Counter::CompletionFastPaths);
     startDueReservations(simulator);
   } else {
     compress(simulator);
@@ -85,6 +87,9 @@ void ConservativeBackfill::startDueReservations(sim::Simulator& simulator) {
 }
 
 void ConservativeBackfill::compress(sim::Simulator& simulator) {
+  simulator.counters().inc(obs::Counter::FullPasses);
+  SPS_TRACE(&simulator.recorder(),
+            obs::instant("policy", "conservative.compress", simulator.now()));
   // Release reservations in order of increasing start guarantee and
   // re-anchor each against the profile of running jobs + the reservations
   // re-anchored so far (paper, Section II-A.1). Every reservation leaves

@@ -1,5 +1,6 @@
 #include "sched/core/backfill_engine.hpp"
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
 
@@ -7,6 +8,7 @@ namespace sps::sched::kernel {
 
 BackfillEngine::Anchor BackfillEngine::anchorOf(
     const sim::Simulator& simulator, JobId job) const {
+  simulator.counters().inc(obs::Counter::AnchorQueries);
   const auto& j = simulator.job(job);
   const Time now = simulator.now();
   const Time start =
@@ -16,6 +18,7 @@ BackfillEngine::Anchor BackfillEngine::anchorOf(
 
 BackfillEngine::Shadow BackfillEngine::shadowOf(const sim::Simulator& simulator,
                                                 JobId head) {
+  simulator.counters().inc(obs::Counter::ShadowQueries);
   const auto& j = simulator.job(head);
   const Time now = simulator.now();
   // Zombie overlay: jobs whose estimated end has passed still hold their
@@ -35,6 +38,9 @@ BackfillEngine::Shadow BackfillEngine::shadowOf(const sim::Simulator& simulator,
 
 bool BackfillEngine::canBackfill(const sim::Simulator& simulator, JobId job,
                                  const Shadow& shadow) const {
+  simulator.counters().inc(obs::Counter::BackfillTests);
+  SPS_TRACE(&simulator.recorder(),
+            obs::instant("kernel", "backfill.test", simulator.now(), job));
   const auto& j = simulator.job(job);
   if (j.procs > simulator.freeCount()) return false;
   return simulator.now() + j.estimate <= shadow.time || j.procs <= shadow.extra;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace sps::sched::kernel {
@@ -44,6 +45,8 @@ void adaptiveSort(std::vector<JobId>& jobs, Cmp cmp, bool seeded) {
 std::vector<JobId> PriorityIndex::idle(const sim::Simulator& simulator) {
   const bool hit = mode_ == KernelMode::Incremental && valid_ &&
                    sim_ == &simulator && epoch_ == simulator.epoch();
+  simulator.counters().inc(hit ? obs::Counter::IndexHits
+                               : obs::Counter::IndexMisses);
   if (!hit) recompute(simulator);
   return idle_;
 }
@@ -54,6 +57,11 @@ void PriorityIndex::recompute(const sim::Simulator& simulator) {
   // append newcomers) so only genuine priority inversions cost anything.
   const bool seeded = mode_ == KernelMode::Incremental && valid_ &&
                       sim_ == &simulator && !idle_.empty();
+  simulator.counters().inc(seeded ? obs::Counter::IndexSeededSorts
+                                  : obs::Counter::IndexFullSorts);
+  SPS_TRACE(&simulator.recorder(),
+            obs::instant("kernel", "index.resort", simulator.now())
+                .arg("seeded", seeded ? 1 : 0));
   sim_ = &simulator;
   epoch_ = simulator.epoch();
   valid_ = true;

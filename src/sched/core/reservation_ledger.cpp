@@ -1,5 +1,6 @@
 #include "sched/core/reservation_ledger.hpp"
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
 
@@ -31,7 +32,7 @@ void ReservationLedger::attach(sim::Simulator& simulator) {
     // must track jobs the policy starts mid-decision (the seed code's
     // manual addBusy-after-startJob), and that bookkeeping is identical
     // either way; the modes differ only in what refresh() itself does.
-    simulator.addStateChangeObserver(
+    simulator.observers().onStateChange(
         [this](const sim::Simulator& s, JobId id, sim::JobState from,
                sim::JobState to) {
           if (&s == attached_) onTransition(s, id, from, to);
@@ -42,8 +43,14 @@ void ReservationLedger::attach(sim::Simulator& simulator) {
 void ReservationLedger::refresh(const sim::Simulator& simulator) {
   SPS_CHECK_MSG(attached_ == &simulator, "ledger not attached to this run");
   if (mode_ == KernelMode::Incremental) {
+    simulator.counters().inc(obs::Counter::LedgerShiftOrigins);
+    SPS_TRACE(&simulator.recorder(),
+              obs::instant("kernel", "ledger.shiftOrigin", simulator.now()));
     profile_.shiftOrigin(simulator.now());
   } else {
+    simulator.counters().inc(obs::Counter::LedgerRebuilds);
+    SPS_TRACE(&simulator.recorder(),
+              obs::instant("kernel", "ledger.rebuild", simulator.now()));
     rebuild(simulator);
   }
 }
@@ -72,6 +79,11 @@ void ReservationLedger::onTransition(const sim::Simulator& simulator, JobId id,
     const Time start = simulator.exec(id).segStart;
     const Time end = beliefEnd(simulator, id);
     const std::uint32_t procs = simulator.job(id).procs;
+    simulator.counters().inc(obs::Counter::LedgerAddBusy);
+    SPS_TRACE(&simulator.recorder(),
+              obs::instant("kernel", "ledger.addBusy", simulator.now(), id)
+                  .arg("end", end)
+                  .arg("procs", procs));
     profile_.addBusy(start, end, procs);
     const auto endIt = byEnd_.emplace(end, procs);
     const bool inserted =
@@ -84,6 +96,9 @@ void ReservationLedger::onTransition(const sim::Simulator& simulator, JobId id,
     // removeBusy clamps to the current origin; any part of the belief that
     // already elapsed (or a zombie interval entirely in the past) is gone
     // from the profile and needs no return.
+    simulator.counters().inc(obs::Counter::LedgerRemoveBusy);
+    SPS_TRACE(&simulator.recorder(),
+              obs::instant("kernel", "ledger.removeBusy", simulator.now(), id));
     profile_.removeBusy(it->second.start, it->second.end, it->second.procs);
     byEnd_.erase(it->second.endIt);
     running_.erase(it);
@@ -95,6 +110,13 @@ void ReservationLedger::addReservation(JobId job, Time start, Time duration,
   SPS_CHECK_MSG(reservations_.count(job) == 0,
                 "job " << job << " already holds a reservation");
   const Time end = start + duration;
+  if (attached_ != nullptr) {
+    attached_->counters().inc(obs::Counter::LedgerReservationsAdded);
+    SPS_TRACE(&attached_->recorder(),
+              obs::instant("kernel", "ledger.reserve", attached_->now(), job)
+                  .arg("start", start)
+                  .arg("procs", procs));
+  }
   reservations_.emplace(job, ReservationEntry{start, end, procs});
   profile_.addBusy(start, end, procs);
 }
@@ -103,6 +125,12 @@ void ReservationLedger::removeReservation(JobId job) {
   const auto it = reservations_.find(job);
   SPS_CHECK_MSG(it != reservations_.end(),
                 "job " << job << " holds no reservation");
+  if (attached_ != nullptr) {
+    attached_->counters().inc(obs::Counter::LedgerReservationsRemoved);
+    SPS_TRACE(&attached_->recorder(),
+              obs::instant("kernel", "ledger.unreserve", attached_->now(),
+                           job));
+  }
   profile_.removeBusy(it->second.start, it->second.end, it->second.procs);
   reservations_.erase(it);
 }

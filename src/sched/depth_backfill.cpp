@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace sps::sched {
@@ -36,10 +37,12 @@ void DepthBackfill::onJobArrival(sim::Simulator& simulator, JobId job) {
   queue_.push_back(job);
   // An arrival never changes the availability function, so incremental
   // mode can skip re-anchoring existing guarantees entirely.
-  if (config_.kernelMode == kernel::KernelMode::Incremental)
+  if (config_.kernelMode == kernel::KernelMode::Incremental) {
+    simulator.counters().inc(obs::Counter::ArrivalFastPaths);
     incrementalPass(simulator);
-  else
+  } else {
     rebuild(simulator);
+  }
 }
 
 void DepthBackfill::onJobCompletion(sim::Simulator& simulator, JobId job) {
@@ -48,10 +51,12 @@ void DepthBackfill::onJobCompletion(sim::Simulator& simulator, JobId job) {
   // identity (see conservative.cpp for the argument). Early completions
   // free capacity and take the full rebuild.
   if (config_.kernelMode == kernel::KernelMode::Incremental &&
-      kernel::completionPreservesProfile(simulator, job))
+      kernel::completionPreservesProfile(simulator, job)) {
+    simulator.counters().inc(obs::Counter::CompletionFastPaths);
     incrementalPass(simulator);
-  else
+  } else {
     rebuild(simulator);
+  }
 }
 
 void DepthBackfill::incrementalPass(sim::Simulator& simulator) {
@@ -103,6 +108,7 @@ void DepthBackfill::incrementalPass(sim::Simulator& simulator) {
       // Pass 2: unreserved jobs backfill iff their earliest anchor is now.
       const auto anchor = engine_.anchorOf(simulator, id);
       if (anchor.startNow) {
+        simulator.counters().inc(obs::Counter::BackfillStarts);
         simulator.startJob(id);
       } else {
         queue_.push_back(id);
@@ -114,6 +120,9 @@ void DepthBackfill::incrementalPass(sim::Simulator& simulator) {
 }
 
 void DepthBackfill::rebuild(sim::Simulator& simulator) {
+  simulator.counters().inc(obs::Counter::FullPasses);
+  SPS_TRACE(&simulator.recorder(),
+            obs::instant("policy", "depth.rebuild", simulator.now()));
   // Drop every guarantee from the ledger before re-anchoring: job k must be
   // anchored against running jobs + re-anchored jobs 0..k-1 only, never
   // against later jobs' old slots. Zombie handling is conservative's: a job
@@ -185,6 +194,7 @@ void DepthBackfill::rebuild(sim::Simulator& simulator) {
   for (JobId id : backfillCandidates) {
     const auto anchor = engine_.anchorOf(simulator, id);
     if (anchor.startNow) {
+      simulator.counters().inc(obs::Counter::BackfillStarts);
       simulator.startJob(id);
     } else {
       queue_.push_back(id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace sps::sched {
@@ -47,11 +48,15 @@ void EasyBackfill::onJobArrival(sim::Simulator& simulator, JobId job) {
       queue_.size() > 1 && queue_.front() != job) {
     ledger_.refresh(simulator);
     if (ledger_.zombieProcsAt(simulator.now()) == 0) {
+      simulator.counters().inc(obs::Counter::ArrivalFastPaths);
       const auto shadow = engine_.shadowOf(simulator, queue_.front());
       if (engine_.canBackfill(simulator, job, shadow)) {
         queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+        simulator.counters().inc(obs::Counter::BackfillStarts);
         simulator.startJob(job);
         ++backfills_;
+      } else {
+        simulator.counters().inc(obs::Counter::BackfillRejects);
       }
       return;
     }
@@ -64,6 +69,9 @@ void EasyBackfill::onJobCompletion(sim::Simulator& simulator, JobId /*job*/) {
 }
 
 void EasyBackfill::schedulePass(sim::Simulator& simulator) {
+  simulator.counters().inc(obs::Counter::FullPasses);
+  SPS_TRACE(&simulator.recorder(),
+            obs::instant("policy", "easy.pass", simulator.now()));
   // Phase 1: start jobs from the head while they fit.
   while (!queue_.empty() &&
          simulator.job(queue_.front()).procs <= simulator.freeCount()) {
@@ -86,7 +94,11 @@ void EasyBackfill::schedulePass(sim::Simulator& simulator) {
     const auto shadow = engine_.shadowOf(simulator, queue_.front());
     for (std::size_t i = 1; i < queue_.size(); ++i) {
       const JobId id = queue_[i];
-      if (!engine_.canBackfill(simulator, id, shadow)) continue;
+      if (!engine_.canBackfill(simulator, id, shadow)) {
+        simulator.counters().inc(obs::Counter::BackfillRejects);
+        continue;
+      }
+      simulator.counters().inc(obs::Counter::BackfillStarts);
       simulator.startJob(id);
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
       ++backfills_;

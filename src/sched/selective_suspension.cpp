@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace sps::sched {
@@ -136,6 +137,7 @@ bool SelectiveSuspension::victimEligible(const sim::Simulator& s,
                                          double preemptorPriority,
                                          std::uint32_t preemptorWidth,
                                          bool reentry) const {
+  s.counters().inc(obs::Counter::VictimTests);
   if (s.exec(victim).state != sim::JobState::Running) return false;
   const double victimPriority = s.xfactor(victim);
   if (preemptorPriority < config_.suspensionFactor * victimPriority)
@@ -231,6 +233,7 @@ void SelectiveSuspension::dispatch(sim::Simulator& simulator) {
   bool usableDirty = true;
   auto refreshUsable = [&](const sim::ProcSet& fence) {
     if (incremental && !usableDirty) return;
+    simulator.counters().inc(obs::Counter::FenceScans);
     usable = simulator.freeSet() - fence;
     usableCount = usable.count();
     usableDirty = false;
@@ -279,6 +282,8 @@ void SelectiveSuspension::dispatch(sim::Simulator& simulator) {
 }
 
 void SelectiveSuspension::preemptionPass(sim::Simulator& simulator) {
+  SPS_TRACE(&simulator.recorder(),
+            obs::instant("policy", "ss.preemptionPass", simulator.now()));
   // Sort the running set once: priorities are frozen while running, so the
   // order cannot change during the pass. Jobs suspended or started during
   // the pass are filtered by state when scanned (a job started this pass is
@@ -304,6 +309,7 @@ void SelectiveSuspension::preemptionPass(sim::Simulator& simulator) {
   std::uint32_t freeNow = 0;
   auto refreshFences = [&] {
     if (incremental && !fencesDirty) return;
+    simulator.counters().inc(obs::Counter::FenceScans);
     offLimits = claimedSet(simulator);
     if (config_.owedProcs == OwedProcsPolicy::Lease)
       offLimits |= suspendedSets(simulator);
@@ -359,6 +365,10 @@ void SelectiveSuspension::preemptionPass(sim::Simulator& simulator) {
       if (occupants.empty()) continue;  // dispatch() handles the free case
       bool anyDraining = false;
       for (JobId r : occupants) {
+        simulator.counters().inc(obs::Counter::Preemptions);
+        SPS_TRACE(&simulator.recorder(),
+                  obs::instant("policy", "preempt", simulator.now(), r)
+                      .arg("for", id));
         simulator.suspendJob(r);
         ++preemptions_;
         if (simulator.exec(r).state == sim::JobState::Suspending)
@@ -409,6 +419,10 @@ void SelectiveSuspension::preemptionPass(sim::Simulator& simulator) {
       for (JobId r : candidates) {
         if (freeNow + freed >= width) break;
         victimProcs |= simulator.exec(r).procs;
+        simulator.counters().inc(obs::Counter::Preemptions);
+        SPS_TRACE(&simulator.recorder(),
+                  obs::instant("policy", "preempt", simulator.now(), r)
+                      .arg("for", id));
         simulator.suspendJob(r);
         ++preemptions_;
         freed += simulator.job(r).procs;

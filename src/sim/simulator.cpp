@@ -3,9 +3,47 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "workload/category.hpp"
 
 namespace sps::sim {
+
+namespace {
+
+static_assert(obs::Counters::kSuspensionCategories ==
+                  workload::kNumCategories16,
+              "obs suspension breakdown must match the Table-I categories");
+
+#if SPS_TRACE_ON
+/// Static display name of a transition, for trace events. Covers exactly
+/// the transitions the simulator can emit.
+const char* transitionName(JobState from, JobState to) {
+  switch (to) {
+    case JobState::Queued: return "arrive";
+    case JobState::Running:
+      return from == JobState::Suspended ? "resume" : "start";
+    case JobState::Suspending: return "suspend";
+    case JobState::Suspended:
+      return from == JobState::Suspending ? "drained" : "suspend";
+    case JobState::Finished: return "finish";
+    case JobState::NotArrived: break;
+  }
+  return "transition";
+}
+
+const char* eventTypeName(EventType type) {
+  switch (type) {
+    case EventType::JobArrival: return "arrival";
+    case EventType::JobCompletion: return "completion";
+    case EventType::SuspendDrained: return "drained";
+    case EventType::Timer: return "timer";
+  }
+  return "?";
+}
+#endif
+
+}  // namespace
 
 const char* jobStateName(JobState state) {
   switch (state) {
@@ -27,6 +65,7 @@ Simulator::Simulator(const workload::Trace& trace, SchedulingPolicy& policy,
       machine_(trace.machineProcs),
       exec_(trace.jobs.size()),
       listPos_(trace.jobs.size(), 0) {
+  if (config.recorder != nullptr) obs_ = config.recorder;
   workload::validateTrace(trace_);
   unfinished_ = static_cast<std::uint32_t>(trace_.jobs.size());
   firstSubmit_ = trace_.jobs.empty() ? 0 : trace_.jobs.front().submit;
@@ -47,9 +86,19 @@ void Simulator::run() {
       busyAtLastSubmit_ = machine_.busyProcSeconds(lastSubmit_);
       steadySnapshotTaken_ = true;
     }
-    if (e.time != now_) ++epoch_;
-    now_ = e.time;
+    if (e.time != now_) {
+      ++epoch_;
+      obs_->counters.inc(obs::Counter::SimClockAdvances);
+      const Time prev = now_;
+      now_ = e.time;
+      registry_.notifyClock(*this, prev, now_);
+    }
     ++eventsProcessed_;
+    obs_->counters.inc(obs::Counter::SimEvents);
+    registry_.notifyEvent(*this, e);
+    SPS_TRACE(obs_, obs::instant("sim", eventTypeName(e.type), now_)
+                        .arg("payload",
+                             static_cast<std::int64_t>(e.payload)));
     switch (e.type) {
       case EventType::JobArrival:
         handleArrival(static_cast<JobId>(e.payload));
@@ -238,9 +287,32 @@ void Simulator::suspendJob(JobId id) {
 
 void Simulator::notifyStateChange(JobId id, JobState from, JobState to) {
   ++epoch_;
-  for (const StateChangeHook& observer : observers_)
-    observer(*this, id, from, to);
-  if (stateChangeHook_) stateChangeHook_(*this, id, from, to);
+  obs::Counters& c = obs_->counters;
+  c.inc(obs::Counter::SimTransitions);
+  if (to == JobState::Running) {
+    c.inc(from == JobState::Suspended ? obs::Counter::SimResumes
+                                      : obs::Counter::SimStarts);
+    SPS_TRACE(obs_, obs::begin("job", "run", now_, id)
+                        .arg("procs", job(id).procs));
+  } else if (from == JobState::Running) {
+    // Finished, or preempted (Suspending with drain overhead, Suspended
+    // without). Either way the running span closes here.
+    if (to != JobState::Finished) {
+      c.inc(obs::Counter::SimSuspensions);
+      // Per-category breakdown uses the paper's Table-I categorization by
+      // *actual* runtime, matching metrics::CategoryStats.
+      c.incSuspensionCategory(
+          workload::category16(job(id).runtime, job(id).procs));
+    }
+    SPS_TRACE(obs_, obs::end("job", "run", now_, id)
+                        .arg("suspended",
+                             static_cast<std::int64_t>(
+                                 to != JobState::Finished)));
+  } else {
+    SPS_TRACE(obs_,
+              obs::instant("job", transitionName(from, to), now_, id));
+  }
+  registry_.notifyStateChange(*this, id, from, to);
 }
 
 void Simulator::scheduleTimer(Time when, std::uint64_t tag) {

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
 #include "sim/policy.hpp"
@@ -70,11 +71,77 @@ struct JobExec {
   }
 };
 
+class Simulator;
+
+/// The single observer surface of the simulator (Simulator::observers()).
+/// Three typed subscription channels; observers fire in registration order,
+/// cannot be removed, and must outlive the run. Callbacks get a const
+/// Simulator and must not call any mutating Simulator API.
+///
+/// This registry replaces the old two-slot scheme (setStateChangeHook for
+/// "the user", addStateChangeObserver for the kernel) — every subscriber
+/// now goes through the same list, so ordering is purely registration
+/// order, with no hidden user-hook-fires-last rule.
+class ObserverRegistry {
+ public:
+  using StateChangeFn = std::function<void(const Simulator&, JobId,
+                                           JobState /*from*/,
+                                           JobState /*to*/)>;
+  using EventFn = std::function<void(const Simulator&, const Event&)>;
+  using ClockFn =
+      std::function<void(const Simulator&, Time /*from*/, Time /*to*/)>;
+
+  /// Fires after every job state transition (the kernel's ReservationLedger
+  /// and the timeline/debug tooling subscribe here).
+  void onStateChange(StateChangeFn fn) {
+    stateChange_.push_back(std::move(fn));
+  }
+  /// Fires for every event the run loop dispatches, after the clock has
+  /// advanced to the event's time but before its handler runs.
+  void onEventDispatched(EventFn fn) { event_.push_back(std::move(fn)); }
+  /// Fires whenever the clock moves forward, before the triggering event's
+  /// handler; `from` < `to` always.
+  void onClockAdvanced(ClockFn fn) { clock_.push_back(std::move(fn)); }
+
+  [[nodiscard]] std::size_t stateChangeCount() const {
+    return stateChange_.size();
+  }
+  [[nodiscard]] std::size_t eventDispatchedCount() const {
+    return event_.size();
+  }
+  [[nodiscard]] std::size_t clockAdvancedCount() const {
+    return clock_.size();
+  }
+
+ private:
+  friend class Simulator;
+
+  void notifyStateChange(const Simulator& s, JobId id, JobState from,
+                         JobState to) const {
+    for (const StateChangeFn& fn : stateChange_) fn(s, id, from, to);
+  }
+  void notifyEvent(const Simulator& s, const Event& e) const {
+    for (const EventFn& fn : event_) fn(s, e);
+  }
+  void notifyClock(const Simulator& s, Time from, Time to) const {
+    for (const ClockFn& fn : clock_) fn(s, from, to);
+  }
+
+  std::vector<StateChangeFn> stateChange_;
+  std::vector<EventFn> event_;
+  std::vector<ClockFn> clock_;
+};
+
 class Simulator {
  public:
   struct Config {
     /// nullptr = suspension and resumption are free (Sections III-IV).
     const OverheadPolicy* overhead = nullptr;
+    /// Observability bundle (counters + optional trace sink). nullptr = the
+    /// simulator uses an internal Recorder; supply one to keep counters and
+    /// sink wiring alive after the simulator is destroyed (core::Runner
+    /// harvests through metrics::collect either way).
+    obs::Recorder* recorder = nullptr;
   };
 
   /// The trace must satisfy validateTrace(). The policy and trace must
@@ -189,21 +256,30 @@ class Simulator {
   /// Called from tests; cheap enough to call every event in debug builds.
   void auditState() const;
 
-  /// Observer invoked after every job state transition — for timelines,
-  /// logging, and debugging. Must not call any mutating Simulator API.
-  using StateChangeHook =
-      std::function<void(const Simulator&, JobId, JobState /*from*/,
-                         JobState /*to*/)>;
-  void setStateChangeHook(StateChangeHook hook) {
-    stateChangeHook_ = std::move(hook);
+  // --- observability -----------------------------------------------------
+  /// The typed observer registry: state changes, dispatched events, clock
+  /// advances. Subscribe before run(); see ObserverRegistry.
+  [[nodiscard]] ObserverRegistry& observers() { return registry_; }
+  [[nodiscard]] const ObserverRegistry& observers() const { return registry_; }
+
+  /// The run's observability bundle (Config::recorder, or the internal
+  /// default). Non-const through a const Simulator: counters and trace
+  /// emission are observability, not simulation state, so read-only policy
+  /// paths may record through it.
+  [[nodiscard]] obs::Recorder& recorder() const { return *obs_; }
+  [[nodiscard]] obs::Counters& counters() const { return obs_->counters; }
+
+  using StateChangeHook = ObserverRegistry::StateChangeFn;
+  /// Transitional shims for the pre-registry API; both now append to
+  /// observers() (setStateChangeHook no longer replaces a previous hook,
+  /// and the separate fires-last user slot is gone). Removed next PR.
+  [[deprecated("use observers().onStateChange()")]] void setStateChangeHook(
+      StateChangeHook hook) {
+    registry_.onStateChange(std::move(hook));
   }
-  /// Additional transition observers, independent of the user hook slot
-  /// above — the scheduling kernel (sched/core) registers its incremental
-  /// ledger here without clobbering a caller's setStateChangeHook. Observers
-  /// fire before the user hook, in registration order, and cannot be
-  /// removed (they live exactly as long as the policy driving the run).
-  void addStateChangeObserver(StateChangeHook observer) {
-    observers_.push_back(std::move(observer));
+  [[deprecated("use observers().onStateChange()")]] void
+  addStateChangeObserver(StateChangeHook observer) {
+    registry_.onStateChange(std::move(observer));
   }
 
  private:
@@ -238,8 +314,12 @@ class Simulator {
   std::uint64_t eventsProcessed_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint32_t unfinished_ = 0;
-  StateChangeHook stateChangeHook_;
-  std::vector<StateChangeHook> observers_;
+  ObserverRegistry registry_;
+  /// Fallback Recorder when Config::recorder is null; obs_ always points at
+  /// a live Recorder so the accessors are branch-free. Mutable because
+  /// recording through a const Simulator is allowed by design.
+  mutable obs::Recorder ownedRecorder_;
+  obs::Recorder* obs_ = &ownedRecorder_;
 };
 
 }  // namespace sps::sim

@@ -8,9 +8,9 @@ namespace sps {
 
 namespace {
 // Atomic + serialized emission: simulations run concurrently under
-// core::Runner, and the logger is the one piece of state they all share.
+// core::Runner, and the logger (plus any trace sinks, which share the same
+// mutex via detail::ioMutex) is the one piece of state they all share.
 std::atomic<LogLevel> g_level{LogLevel::Warning};
-std::mutex g_emitMutex;
 }  // namespace
 
 void setLogLevel(LogLevel level) {
@@ -32,8 +32,13 @@ const char* logLevelName(LogLevel level) {
 }
 
 namespace detail {
+std::mutex& ioMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
 void emitLog(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_emitMutex);
+  std::lock_guard<std::mutex> lock(ioMutex());
   std::cerr << '[' << logLevelName(level) << "] " << message << '\n';
 }
 }  // namespace detail

@@ -3,6 +3,7 @@
 // machine-readable.
 #pragma once
 
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,13 @@ void setLogLevel(LogLevel level);
 
 namespace detail {
 void emitLog(LogLevel level, const std::string& message);
+
+/// The process-wide output serialization point. Log emission and the
+/// obs::TraceSink implementations all lock this one mutex, so `--trace`
+/// events and `-v` log lines never interleave mid-line even when Runner
+/// workers write concurrently. Lock it around any other multi-part stream
+/// write that must stay atomic against logging.
+[[nodiscard]] std::mutex& ioMutex();
 }
 
 }  // namespace sps

@@ -56,7 +56,7 @@ Schedule runSchedule(const workload::Trace& trace,
   config.overhead = overhead;
   sim::Simulator simulator(trace, *policy, config);
   Schedule schedule;
-  simulator.setStateChangeHook(
+  simulator.observers().onStateChange(
       [&schedule](const sim::Simulator& s, JobId id, sim::JobState from,
                   sim::JobState to) {
         schedule.transitions.emplace_back(s.now(), id, static_cast<int>(from),

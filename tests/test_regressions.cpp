@@ -161,8 +161,8 @@ TEST(StateHook, ObservesFullLifecycle) {
   };
   std::vector<std::pair<sim::JobState, sim::JobState>> transitions;
   sim::Simulator s(trace, policy);
-  s.setStateChangeHook([&](const sim::Simulator&, JobId, sim::JobState from,
-                           sim::JobState to) {
+  s.observers().onStateChange([&](const sim::Simulator&, JobId,
+                                  sim::JobState from, sim::JobState to) {
     transitions.emplace_back(from, to);
   });
   s.run();
@@ -188,8 +188,8 @@ TEST(StateHook, SeesDrainPhaseWithOverhead) {
   sim::Simulator::Config config;
   config.overhead = &overhead;
   sim::Simulator s(trace, policy, config);
-  s.setStateChangeHook([&](const sim::Simulator&, JobId, sim::JobState from,
-                           sim::JobState to) {
+  s.observers().onStateChange([&](const sim::Simulator&, JobId,
+                                  sim::JobState from, sim::JobState to) {
     sawSuspending |= to == sim::JobState::Suspending;
     sawDrained |= from == sim::JobState::Suspending &&
                   to == sim::JobState::Suspended;

@@ -13,6 +13,8 @@
 #include "core/runner.hpp"
 #include "helpers.hpp"
 #include "metrics/json.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_sink.hpp"
 #include "workload/synthetic.hpp"
 
 namespace sps::core {
@@ -216,6 +218,29 @@ TEST(Runner, JsonBatchExportHasSchemaAndAllRuns) {
   EXPECT_NE(json.find("\"policy\": \"NS\""), std::string::npos);
   EXPECT_NE(json.find("\"wallSeconds\""), std::string::npos);
   EXPECT_NE(json.find("\"jobs\""), std::string::npos);
+}
+
+TEST(Runner, SharedTraceSinkAcrossWorkersIsThreadCountInvariant) {
+  // One sink shared by every worker: emit counts must not depend on the
+  // thread count (and the TSan lane proves the sharing is race-free). In a
+  // default build both counts are zero — the hot path makes no sink calls.
+  const auto trace =
+      shareTrace(workload::generateTrace(workload::sdscConfig(200, 13)));
+  auto batchWith = [&trace](obs::TraceSink* sink) {
+    auto batch = smallBatch(trace);
+    for (RunRequest& request : batch) request.options.traceSink = sink;
+    return batch;
+  };
+  obs::CountingSink sequential;
+  Runner one({.threads = 1});
+  (void)one.runAll(batchWith(&sequential));
+  obs::CountingSink concurrent;
+  Runner pool({.threads = 8});
+  (void)pool.runAll(batchWith(&concurrent));
+  EXPECT_EQ(concurrent.count(), sequential.count());
+  if (!obs::kTraceCompiledIn) {
+    EXPECT_EQ(sequential.count(), 0u);
+  }
 }
 
 }  // namespace

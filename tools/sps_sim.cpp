@@ -1,17 +1,22 @@
 // sps_sim — command-line driver for the scheduling simulator.
 //
-// Run any scheduler over an SWF log or a calibrated synthetic workload and
-// print the paper's metrics:
+// Subcommands (run is the default, so flag-only invocations keep working):
 //
-//   sps_sim --preset sdsc --policy ss --sf 2
-//   sps_sim --trace CTC-SP2-1996-3.1-cln.swf --procs 430 --policy tss
-//   sps_sim --preset ctc --policy gang --gang-slots 3 --overhead --worst
-//   sps_sim --preset kth --load-factor 1.3 --policy easy --csv
-//   sps_sim --preset sdsc --compare --threads 8 --json
+//   sps_sim run --preset sdsc --policy ss --sf 2
+//   sps_sim run --swf CTC-SP2-1996-3.1-cln.swf --procs 430 --policy tss
+//   sps_sim run --preset ctc --jobs 500 --trace run.json   (-DSPS_TRACE=ON)
+//   sps_sim compare --preset sdsc --threads 8 --json
+//   sps_sim compare --set classic --preset kth
+//   sps_sim sweep --preset ctc --factors 1.0,1.1,1.2,1.3
+//   sps_sim replicate --preset sdsc --seeds 5
 //
 // Everything is deterministic in --seed (independent of --threads).
+//
+// NOTE: --trace now names the structured-trace OUTPUT file (obs layer); the
+// SWF workload input moved to --swf.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,12 +24,16 @@
 #include "core/cli_config.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/replicate.hpp"
 #include "core/runner.hpp"
 #include "core/simulation.hpp"
 #include "metrics/json.hpp"
 #include "metrics/report.hpp"
+#include "obs/trace.hpp"
 #include "sched/overhead.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
+#include "workload/category.hpp"
 #include "workload/estimate_model.hpp"
 #include "workload/summary.hpp"
 #include "workload/swf.hpp"
@@ -36,7 +45,8 @@ namespace {
 using namespace sps;
 
 struct CliOptions {
-  std::string traceFile;
+  // Workload
+  std::string swfFile;
   std::uint32_t procs = 0;
   std::string preset = "sdsc";
   std::size_t jobs = 10000;
@@ -44,79 +54,155 @@ struct CliOptions {
   std::optional<double> load;
   double loadFactor = 1.0;
   std::string estimates = "accurate";
+  // Scheduler
   std::string policy = "ss";
   double sf = 2.0;
   bool overhead = false;
   std::size_t gangSlots = 4;
   Time gangQuantum = 600;
   std::size_t depth = 2;
-  bool compare = false;
+  // Batch execution
+  std::string set = "paper";
   std::size_t threads = 0;
+  std::string factors = "1.0,1.1,1.2,1.3";
+  std::size_t seeds = 5;
+  bool compareAlias = false;  ///< deprecated `run --compare`
+  // Observability
+  std::string traceFile;
+  std::string traceFormat = "chrome";
+  bool counters = false;
+  bool verbose = false;
+  // Output
   bool json = false;
   bool csv = false;
   bool worst = false;
   bool summaryOnly = false;
 };
 
-core::CliConfig makeCli(CliOptions& opt) {
-  core::CliConfig cli(
-      "sps_sim",
-      "parallel job scheduling simulator\n(Kettimuthu et al., \"Selective "
-      "Preemption Strategies for Parallel Job\nScheduling\", reproduced in "
-      "C++20)");
-  cli.section("Workload (choose one)");
-  cli.option("--trace", &opt.traceFile, "FILE",
-             "Standard Workload Format log (requires --procs)");
-  cli.option("--procs", &opt.procs, "N", "machine size for --trace");
-  cli.option("--preset", &opt.preset, "ctc|sdsc|kth",
-             "calibrated synthetic workload (default: sdsc)");
-  cli.option("--jobs", &opt.jobs, "N", "synthetic job count (default: 10000)");
-  cli.option("--seed", &opt.seed, "S", "RNG seed (default: 42)");
-  cli.option("--load", &opt.load, "F", "offered-load override (default: preset)");
-  cli.option("--load-factor", &opt.loadFactor, "F",
-             "divide arrival times by F (Section VI)");
-  cli.option("--estimates", &opt.estimates, "MODEL",
-             "accurate | modal | uniform (Section V)");
-  cli.section("Scheduler");
-  cli.option("--policy", &opt.policy, "NAME",
-             "fcfs | conservative | easy | sjf | ss | tss | tss-online | is | "
-             "gang | depth (default: ss)");
-  cli.option("--sf", &opt.sf, "F", "suspension factor for ss/tss (default: 2)");
-  cli.option("--gang-slots", &opt.gangSlots, "N",
-             "gang multiprogramming level (default: 4)");
-  cli.option("--gang-quantum", &opt.gangQuantum, "SEC",
-             "gang time slice (default: 600)");
-  cli.option("--depth", &opt.depth, "K",
-             "reservation depth for depth (default: 2)");
-  cli.flag("--overhead", &opt.overhead,
-           "2 MB/s disk-swap suspension cost (Section V-A)");
-  cli.section("Execution");
-  cli.flag("--compare", &opt.compare,
-           "run the paper's scheme set (SS 1.5/2/5, NS, IS; TSS when "
-           "--policy tss) instead of one policy");
-  cli.option("--threads", &opt.threads, "N",
-             "worker threads for --compare (0 = all hardware threads)");
-  cli.section("Output");
-  cli.flag("--json", &opt.json, "machine-readable RunResult JSON on stdout");
-  cli.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
-  cli.flag("--worst", &opt.worst, "also print worst-case grids");
-  cli.flag("--summary-only", &opt.summaryOnly,
-           "one-line summary, no grids");
-  return cli;
-}
-
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "sps_sim: " << message << "\n(--help for usage)\n";
   std::exit(2);
 }
 
+void addWorkloadFlags(core::CliConfig& cli, CliOptions& opt) {
+  cli.section("Workload (choose one)");
+  cli.option("--swf", &opt.swfFile, "FILE",
+             "Standard Workload Format log (requires --procs)");
+  cli.option("--procs", &opt.procs, "N", "machine size for --swf");
+  cli.option("--preset", &opt.preset, "ctc|sdsc|kth",
+             "calibrated synthetic workload (default: sdsc)");
+  cli.option("--jobs", &opt.jobs, "N", "synthetic job count (default: 10000)");
+  cli.option("--seed", &opt.seed, "S", "RNG seed (default: 42)");
+  cli.option("--load", &opt.load, "F",
+             "offered-load override (default: preset)");
+  cli.option("--load-factor", &opt.loadFactor, "F",
+             "divide arrival times by F (Section VI)");
+  cli.option("--estimates", &opt.estimates, "MODEL",
+             "accurate | modal | uniform (Section V)");
+}
+
+void addObsFlags(core::CliConfig& cli, CliOptions& opt) {
+  cli.section("Observability");
+  cli.option("--trace", &opt.traceFile, "FILE",
+             "write a structured event trace (needs a -DSPS_TRACE=ON build; "
+             "open chrome format in Perfetto)");
+  cli.option("--trace-format", &opt.traceFormat, "chrome|jsonl",
+             "trace file format (default: chrome)");
+  cli.flag("--counters", &opt.counters,
+           "print the obs counter table after the run");
+  cli.flag("--verbose", &opt.verbose, "log at Info level");
+}
+
+void addOutputFlags(core::CliConfig& cli, CliOptions& opt) {
+  cli.section("Output");
+  cli.flag("--json", &opt.json, "machine-readable RunResult JSON on stdout");
+  cli.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
+  cli.flag("--summary-only", &opt.summaryOnly, "one-line summary, no grids");
+}
+
+void addBatchFlags(core::CliConfig& cli, CliOptions& opt) {
+  cli.section("Batch execution");
+  cli.option("--set", &opt.set, "NAME",
+             "scheme set: paper (SS 1.5/2/5 + NS + IS) | tss | classic "
+             "(every scheduler) (default: paper)");
+  cli.option("--threads", &opt.threads, "N",
+             "worker threads (0 = all hardware threads)");
+  cli.flag("--overhead", &opt.overhead,
+           "2 MB/s disk-swap suspension cost (Section V-A)");
+}
+
+core::CliCommands makeCli(CliOptions& opt) {
+  core::CliCommands cli(
+      "sps_sim",
+      "parallel job scheduling simulator\n(Kettimuthu et al., \"Selective "
+      "Preemption Strategies for Parallel Job\nScheduling\", reproduced in "
+      "C++20)");
+
+  core::CliConfig& run = cli.command("run", "simulate one policy");
+  addWorkloadFlags(run, opt);
+  run.section("Scheduler");
+  run.option("--policy", &opt.policy, "NAME",
+             "fcfs | conservative | easy | sjf | ss | tss | tss-online | is | "
+             "gang | depth (default: ss)");
+  run.option("--sf", &opt.sf, "F",
+             "suspension factor for ss/tss (default: 2)");
+  run.option("--gang-slots", &opt.gangSlots, "N",
+             "gang multiprogramming level (default: 4)");
+  run.option("--gang-quantum", &opt.gangQuantum, "SEC",
+             "gang time slice (default: 600)");
+  run.option("--depth", &opt.depth, "K",
+             "reservation depth for depth (default: 2)");
+  run.flag("--overhead", &opt.overhead,
+           "2 MB/s disk-swap suspension cost (Section V-A)");
+  run.flag("--compare", &opt.compareAlias,
+           "deprecated alias for the 'compare' subcommand");
+  run.option("--threads", &opt.threads, "N",
+             "worker threads for --compare (0 = all hardware threads)");
+  addObsFlags(run, opt);
+  addOutputFlags(run, opt);
+  run.section("Output");
+  run.flag("--worst", &opt.worst, "also print worst-case grids");
+
+  core::CliConfig& compare =
+      cli.command("compare", "run a scheme set side by side");
+  addWorkloadFlags(compare, opt);
+  addBatchFlags(compare, opt);
+  addObsFlags(compare, opt);
+  addOutputFlags(compare, opt);
+
+  core::CliConfig& sweep =
+      cli.command("sweep", "scheme set across load factors (Section VI)");
+  addWorkloadFlags(sweep, opt);
+  addBatchFlags(sweep, opt);
+  sweep.section("Sweep");
+  sweep.option("--factors", &opt.factors, "F1,F2,...",
+               "load factors (default: 1.0,1.1,1.2,1.3)");
+  addObsFlags(sweep, opt);
+  sweep.section("Output");
+  sweep.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
+
+  core::CliConfig& replicate =
+      cli.command("replicate", "scheme set over independently-seeded runs");
+  addWorkloadFlags(replicate, opt);
+  addBatchFlags(replicate, opt);
+  replicate.section("Replication");
+  replicate.option("--seeds", &opt.seeds, "N",
+                   "replication count, seeded seed..seed+N-1 (default: 5)");
+  addObsFlags(replicate, opt);
+  replicate.section("Output");
+  replicate.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
+
+  cli.setDefault("run");
+  return cli;
+}
+
 workload::Trace buildWorkload(const CliOptions& opt) {
   workload::Trace trace;
-  if (!opt.traceFile.empty()) {
-    if (opt.procs == 0) fail("--trace requires --procs");
+  if (!opt.swfFile.empty()) {
+    if (opt.procs == 0) fail("--swf requires --procs");
     workload::SwfReadStats stats;
-    trace = workload::readSwfFile(opt.traceFile, opt.traceFile, opt.procs,
-                                  &stats);
+    trace =
+        workload::readSwfFile(opt.swfFile, opt.swfFile, opt.procs, &stats);
     std::cerr << "read " << stats.jobsAccepted << " jobs ("
               << stats.droppedNonPositiveRuntime +
                      stats.droppedNonPositiveProcs + stats.droppedTooWide
@@ -151,6 +237,21 @@ workload::Trace buildWorkload(const CliOptions& opt) {
   if (opt.loadFactor != 1.0)
     trace = workload::scaleLoad(trace, opt.loadFactor);
   return trace;
+}
+
+/// Build the requested trace sink, or null when --trace is off. Exits with
+/// guidance when the build has no tracing compiled in — silently writing an
+/// empty file would look like a successful trace.
+std::unique_ptr<obs::TraceSink> makeSink(const CliOptions& opt) {
+  if (opt.traceFile.empty()) return nullptr;
+  if (!obs::kTraceCompiledIn)
+    fail("--trace needs the instrumented build: reconfigure with "
+         "-DSPS_TRACE=ON (this binary compiled the tracing layer out)");
+  if (opt.traceFormat == "chrome")
+    return std::make_unique<obs::ChromeTraceSink>(opt.traceFile);
+  if (opt.traceFormat == "jsonl")
+    return std::make_unique<obs::JsonlSink>(opt.traceFile);
+  fail("unknown --trace-format: " + opt.traceFormat);
 }
 
 core::PolicySpec buildPolicy(const CliOptions& opt, core::Runner& runner,
@@ -192,9 +293,38 @@ core::PolicySpec buildPolicy(const CliOptions& opt, core::Runner& runner,
   return spec;
 }
 
+std::vector<core::PolicySpec> buildSchemeSet(
+    const CliOptions& opt, core::Runner& runner,
+    const workload::Trace& trace, const core::SimulationOptions& options) {
+  if (opt.set == "paper") return core::ssSchemeSet();
+  if (opt.set == "classic") return core::classicSchemeSet();
+  if (opt.set == "tss")
+    return core::tssSchemeSet(
+        core::bootstrapTssLimits(runner, trace, 1.5, options));
+  fail("unknown scheme set: " + opt.set);
+}
+
 void printTable(const Table& table, bool csv) {
   if (csv) table.printCsv(std::cout);
   else table.printAscii(std::cout);
+}
+
+void printCountersTable(const metrics::RunStats& stats, bool csv) {
+  std::cout << "\nObservability counters (" << stats.policyName << "):\n";
+  Table t({"counter", "value"});
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    if (stats.counters.value(c) != 0)
+      t.row().cell(obs::counterName(c)).cell(
+          static_cast<std::int64_t>(stats.counters.value(c)));
+  }
+  const auto& byCategory = stats.counters.suspensionsByCategory();
+  for (std::size_t i = 0; i < byCategory.size(); ++i)
+    if (byCategory[i] != 0)
+      t.row()
+          .cell("sim.suspensions[" + workload::category16Name(i) + "]")
+          .cell(static_cast<std::int64_t>(byCategory[i]));
+  printTable(t, csv);
 }
 
 void printRunGrids(const metrics::RunStats& stats, const CliOptions& opt) {
@@ -219,14 +349,43 @@ void printRunGrids(const metrics::RunStats& stats, const CliOptions& opt) {
   }
 }
 
+int runSingle(const CliOptions& opt, core::Runner& runner,
+              const workload::Trace& trace,
+              const core::SimulationOptions& options) {
+  const core::PolicySpec spec = buildPolicy(opt, runner, trace);
+  core::RunRequest request;
+  request.trace = core::borrowTrace(trace);
+  request.spec = spec;
+  request.options = options;
+  request.seed = opt.seed;
+  const core::RunResult result = runner.runOne(request);
+
+  if (opt.json) {
+    metrics::JsonOptions jsonOptions;
+    jsonOptions.includeJobs = !opt.summaryOnly;
+    core::writeRunResultsJson(std::cout, {result}, jsonOptions);
+    std::cout << "\n";
+    return 0;
+  }
+
+  const metrics::RunStats& stats = result.stats;
+  std::cout << metrics::summaryLine(stats) << "\n";
+  if (opt.counters) printCountersTable(stats, opt.csv);
+  if (opt.summaryOnly) return 0;
+
+  std::cout << "\nWorkload (" << trace.name << ", " << trace.machineProcs
+            << " processors):\n";
+  printTable(workload::summaryStatsTable(workload::summarizeTrace(trace)),
+             opt.csv);
+  printRunGrids(stats, opt);
+  return 0;
+}
+
 int runCompare(const CliOptions& opt, core::Runner& runner,
                const workload::Trace& trace,
                const core::SimulationOptions& options) {
-  std::vector<core::PolicySpec> specs =
-      opt.policy == "tss"
-          ? core::tssSchemeSet(core::bootstrapTssLimits(runner, trace, 1.5,
-                                                        options))
-          : core::ssSchemeSet();
+  const std::vector<core::PolicySpec> specs =
+      buildSchemeSet(opt, runner, trace, options);
 
   const auto shared = core::borrowTrace(trace);
   std::vector<core::RunRequest> batch;
@@ -243,8 +402,7 @@ int runCompare(const CliOptions& opt, core::Runner& runner,
       std::cerr << "finished " << r.label << " ("
                 << formatFixed(r.wallSeconds, 2) << "s)\n";
     });
-  const std::vector<core::RunResult> results =
-      runner.runAll(std::move(batch));
+  const std::vector<core::RunResult> results = runner.runAll(std::move(batch));
 
   if (opt.json) {
     metrics::JsonOptions jsonOptions;
@@ -258,6 +416,9 @@ int runCompare(const CliOptions& opt, core::Runner& runner,
   runs.reserve(results.size());
   for (const core::RunResult& r : results) runs.push_back(r.stats);
   core::printRunSummaries(std::cout, runs);
+  if (opt.counters)
+    for (const metrics::RunStats& stats : runs)
+      printCountersTable(stats, opt.csv);
   if (opt.summaryOnly) return 0;
   core::printFigurePanels(std::cout, "average bounded slowdown by category",
                           runs, metrics::Metric::AvgSlowdown);
@@ -266,59 +427,121 @@ int runCompare(const CliOptions& opt, core::Runner& runner,
   return 0;
 }
 
+std::vector<double> parseFactors(const std::string& text) {
+  std::vector<double> factors;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece =
+        text.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!piece.empty())
+      factors.push_back(
+          core::detail::parseCliValue<double>("--factors", piece));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (factors.empty()) fail("--factors needs at least one load factor");
+  return factors;
+}
+
+int runSweep(const CliOptions& opt, core::Runner& runner,
+             const workload::Trace& trace,
+             const core::SimulationOptions& options) {
+  const std::vector<double> factors = parseFactors(opt.factors);
+  const std::vector<core::PolicySpec> specs =
+      buildSchemeSet(opt, runner, trace, options);
+  const std::vector<core::LoadPoint> points =
+      core::loadSweep(runner, trace, specs, factors,
+                      /*calibrateTssFromBase=*/true, options);
+  for (const core::LoadPoint& point : points) {
+    std::cout << "\n=== load factor " << formatFixed(point.loadFactor, 2)
+              << " ===\n";
+    core::printRunSummaries(std::cout, point.runs);
+  }
+  return 0;
+}
+
+int runReplicate(const CliOptions& opt, core::Runner& runner,
+                 const core::SimulationOptions& options) {
+  if (!opt.swfFile.empty())
+    fail("replicate reseeds the synthetic generator per run; it cannot use "
+         "a fixed --swf log");
+  if (opt.seeds == 0) fail("--seeds must be at least 1");
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < opt.seeds; ++i) seeds.push_back(opt.seed + i);
+
+  CliOptions traceOpt = opt;  // buildWorkload with a per-replication seed
+  auto makeTrace = [&traceOpt](std::uint64_t seed) {
+    CliOptions o = traceOpt;
+    o.seed = seed;
+    return buildWorkload(o);
+  };
+  // TSS limits recalibrate per seed inside replicate(); the engaged value
+  // only marks the spec as TSS.
+  core::Runner calibration({.threads = 1});
+  const workload::Trace base = makeTrace(opt.seed);
+  const std::vector<core::PolicySpec> specs =
+      buildSchemeSet(opt, calibration, base, options);
+
+  const std::vector<core::ReplicationResult> results =
+      core::replicate(runner, makeTrace, seeds, specs, options);
+  std::cout << "Replication over " << seeds.size() << " seeds ("
+            << base.name << " family):\n";
+  printTable(core::replicationTable(results), opt.csv);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions opt;
-  core::CliConfig cli = makeCli(opt);
+  core::CliCommands cli = makeCli(opt);
+  core::CliCommands::Outcome outcome;
   try {
-    if (cli.parse(argc, argv).helpRequested) {
-      cli.printUsage(std::cout);
-      return 0;
-    }
+    outcome = cli.parse(argc, argv);
   } catch (const sps::InputError& e) {
     fail(e.what());
   }
+  if (outcome.helpRequested) {
+    cli.printUsage(std::cout, outcome.command);
+    return 0;
+  }
+  if (opt.verbose) setLogLevel(LogLevel::Info);
+
+  std::string command = outcome.command;
+  if (opt.compareAlias && command == "run") {
+    std::cerr << "sps_sim: note: --compare is deprecated; use "
+                 "'sps_sim compare'\n";
+    command = "compare";
+  }
 
   try {
-    core::Runner runner({.threads = opt.compare ? opt.threads : 1});
-    const workload::Trace trace = buildWorkload(opt);
+    const bool batch = command != "run";
+    core::Runner runner({.threads = batch ? opt.threads : 1});
 
-    std::optional<sched::DiskSwapOverhead> overhead;
+    std::unique_ptr<obs::TraceSink> sink = makeSink(opt);
     core::SimulationOptions options;
+    options.traceSink = sink.get();
+    std::optional<sched::DiskSwapOverhead> overhead;
+
+    if (command == "replicate") {
+      // The workload is rebuilt per seed; overhead models are per-trace and
+      // would dangle, so replication runs with free preemption (as the
+      // paper's replication-style comparisons do).
+      if (opt.overhead)
+        fail("replicate does not support --overhead (per-seed traces)");
+      return runReplicate(opt, runner, options);
+    }
+
+    const workload::Trace trace = buildWorkload(opt);
     if (opt.overhead) {
       overhead.emplace(trace, 2.0);
       options.overhead = &*overhead;
     }
 
-    if (opt.compare) return runCompare(opt, runner, trace, options);
-
-    const core::PolicySpec spec = buildPolicy(opt, runner, trace);
-    core::RunRequest request;
-    request.trace = core::borrowTrace(trace);
-    request.spec = spec;
-    request.options = options;
-    request.seed = opt.seed;
-    const core::RunResult result = runner.runOne(request);
-
-    if (opt.json) {
-      metrics::JsonOptions jsonOptions;
-      jsonOptions.includeJobs = !opt.summaryOnly;
-      core::writeRunResultsJson(std::cout, {result}, jsonOptions);
-      std::cout << "\n";
-      return 0;
-    }
-
-    const metrics::RunStats& stats = result.stats;
-    std::cout << metrics::summaryLine(stats) << "\n";
-    if (opt.summaryOnly) return 0;
-
-    std::cout << "\nWorkload (" << trace.name << ", "
-              << trace.machineProcs << " processors):\n";
-    printTable(workload::summaryStatsTable(workload::summarizeTrace(trace)),
-               opt.csv);
-    printRunGrids(stats, opt);
-    return 0;
+    if (command == "compare") return runCompare(opt, runner, trace, options);
+    if (command == "sweep") return runSweep(opt, runner, trace, options);
+    return runSingle(opt, runner, trace, options);
   } catch (const sps::InputError& e) {
     std::cerr << "sps_sim: input error: " << e.what() << "\n";
     return 1;
