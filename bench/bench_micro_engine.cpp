@@ -16,6 +16,7 @@
 #include <iostream>
 #include <vector>
 
+#include "check/check_config.hpp"
 #include "core/simulation.hpp"
 #include "metrics/json.hpp"
 #include "obs/trace.hpp"
@@ -82,11 +83,11 @@ struct Lane {
 };
 
 Lane timeLane(const workload::Trace& trace, const core::PolicySpec& spec,
-              int repeats) {
+              int repeats, const core::SimulationOptions& options = {}) {
   Lane best;
   for (int r = 0; r < repeats; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
-    const metrics::RunStats stats = core::runSimulation(trace, spec);
+    const metrics::RunStats stats = core::runSimulation(trace, spec, options);
     const auto t1 = std::chrono::steady_clock::now();
     const double wall = std::chrono::duration<double>(t1 - t0).count();
     if (r == 0 || wall < best.wallSeconds) {
@@ -169,12 +170,21 @@ void runKernelSweep() {
   std::cout << "kernel sweep: sdsc jobs=" << jobs
             << " load=" << config.offeredLoad << " (best of " << repeats
             << ")\n";
+  // The sps::check oracle lane: everything armed at the default stride.
+  // Its overhead vs the unchecked incremental lane is the cost of --check.
+  core::SimulationOptions checked;
+  checked.check = check::CheckConfig::all();
+
   for (const auto& [label, policySpec] : policies) {
     const Lane reb =
         timeLane(trace, withMode(policySpec, KernelMode::Rebuild), repeats);
     const Lane inc =
         timeLane(trace, withMode(policySpec, KernelMode::Incremental), repeats);
+    const Lane chk = timeLane(trace, withMode(policySpec,
+                                              KernelMode::Incremental),
+                              repeats, checked);
     const double speedup = inc.eventsPerSec / reb.eventsPerSec;
+    const double checkOverhead = inc.eventsPerSec / chk.eventsPerSec;
     w.beginObject();
     w.field("policy", label);
     w.key("rebuild").beginObject();
@@ -191,11 +201,19 @@ void runKernelSweep() {
     w.key("counters");
     metrics::writeCountersJson(w, inc.counters);
     w.endObject();
+    w.key("checked").beginObject();
+    w.field("wallSeconds", chk.wallSeconds);
+    w.field("eventsPerSec", chk.eventsPerSec);
+    w.field("auditStride",
+            static_cast<std::uint64_t>(checked.check.auditStride));
+    w.field("overheadFactor", checkOverhead);
+    w.endObject();
     w.field("speedup", speedup);
     w.endObject();
     std::cout << "  " << label << ": rebuild " << reb.eventsPerSec
               << " ev/s, incremental " << inc.eventsPerSec << " ev/s ("
-              << speedup << "x)\n";
+              << speedup << "x), checked " << chk.eventsPerSec << " ev/s ("
+              << checkOverhead << "x overhead)\n";
   }
   w.endArray();
   w.endObject();

@@ -1,5 +1,8 @@
 #include "core/simulation.hpp"
 
+#include <optional>
+
+#include "check/invariants.hpp"
 #include "sched/conservative.hpp"
 #include "sched/easy.hpp"
 #include "sched/fcfs.hpp"
@@ -58,7 +61,13 @@ metrics::RunStats runSimulation(const workload::Trace& trace,
   config.overhead = options.overhead;
   config.recorder = &recorder;
   sim::Simulator simulator(trace, *policy, config);
+  std::optional<check::InvariantChecker> checker;
+  if (options.check.any()) {
+    checker.emplace(options.check);
+    checker->arm(simulator, *policy);
+  }
   simulator.run();
+  if (checker) checker->finalize(simulator);
   return metrics::collect(simulator, policyLabel(spec));
 }
 

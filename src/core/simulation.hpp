@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "check/check_config.hpp"
 #include "metrics/collector.hpp"
 #include "obs/trace_sink.hpp"
 #include "sched/conservative.hpp"
@@ -58,6 +59,10 @@ struct SimulationOptions {
   /// either way. The sink must be thread-safe when the same options are
   /// shared across core::Runner workers — the bundled sinks are.
   obs::TraceSink* traceSink = nullptr;
+  /// Invariant oracle toggles (sps::check). Default: nothing armed, zero
+  /// cost. With any checker enabled, runSimulation arms an
+  /// InvariantChecker on the run and a violation throws InvariantError.
+  check::CheckConfig check{};
 };
 
 /// Instantiate the policy a spec describes.

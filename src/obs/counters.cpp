@@ -33,6 +33,8 @@ const char* counterName(Counter counter) {
     case Counter::FenceScans: return "policy.fenceScans";
     case Counter::VictimTests: return "policy.victimTests";
     case Counter::Preemptions: return "policy.preemptions";
+    case Counter::CheckTransitionAudits: return "check.transitionAudits";
+    case Counter::CheckEpochAudits: return "check.epochAudits";
     case Counter::kCount: break;
   }
   return "?";

@@ -57,6 +57,9 @@ enum class Counter : std::uint8_t {
   FenceScans,          ///< SS claim/lease fence recomputations
   VictimTests,         ///< SS victim-eligibility evaluations
   Preemptions,         ///< suspensions issued by the SS preemption pass
+  // --- invariant oracle (check/) ------------------------------------------
+  CheckTransitionAudits,  ///< state transitions audited by sps::check
+  CheckEpochAudits,       ///< sampled epoch audits (guarantee poll + ledger)
   kCount,
 };
 

@@ -128,4 +128,24 @@ Time AvailabilityProfile::findAnchor(Time notBefore, Time duration,
   }
 }
 
+bool AvailabilityProfile::sameFunctionAs(
+    const AvailabilityProfile& other) const {
+  if (origin_ != other.origin_ || total_ != other.total_) return false;
+  // Merge-walk the two breakpoint sequences, comparing the free value over
+  // every maximal interval of the union. Both step vectors are non-empty
+  // (the constructor seeds one step) and the last step extends forever.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (true) {
+    if (steps_[i].free != other.steps_[j].free) return false;
+    const Time nextA =
+        i + 1 < steps_.size() ? steps_[i + 1].start : kTimeMax;
+    const Time nextB =
+        j + 1 < other.steps_.size() ? other.steps_[j + 1].start : kTimeMax;
+    if (nextA == kTimeMax && nextB == kTimeMax) return true;
+    if (nextA <= nextB) ++i;
+    if (nextB <= nextA) ++j;
+  }
+}
+
 }  // namespace sps::sched

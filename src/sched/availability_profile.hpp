@@ -60,6 +60,13 @@ class AvailabilityProfile {
   /// Number of internal steps (for tests).
   [[nodiscard]] std::size_t stepCount() const { return steps_.size(); }
 
+  /// Semantic equality: same origin, same totalProcs, and the same free(t)
+  /// everywhere — regardless of how each profile's breakpoints happen to be
+  /// split (add/remove churn can leave equal-valued adjacent steps). Used
+  /// by the sps::check ledger audit to compare an incrementally-maintained
+  /// profile against a from-scratch rebuild.
+  [[nodiscard]] bool sameFunctionAs(const AvailabilityProfile& other) const;
+
  private:
   struct Step {
     Time start;          ///< step covers [start, next.start)

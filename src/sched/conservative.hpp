@@ -50,6 +50,12 @@ class ConservativeBackfill final : public sim::SchedulingPolicy {
   /// vector.
   [[nodiscard]] Time guaranteeOf(JobId job) const;
 
+  /// The kernel ledger backing this policy, for the sps::check ledger
+  /// audit. Read-only.
+  [[nodiscard]] const kernel::ReservationLedger& ledger() const {
+    return ledger_;
+  }
+
  private:
   struct Reservation {
     JobId job;

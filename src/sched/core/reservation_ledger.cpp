@@ -135,6 +135,49 @@ void ReservationLedger::removeReservation(JobId job) {
   reservations_.erase(it);
 }
 
+void ReservationLedger::audit(const sim::Simulator& simulator) const {
+  SPS_CHECK_MSG(attached_ == &simulator,
+                "ledger audit against a simulator it is not attached to");
+  SPS_CHECK_MSG(running_.size() == simulator.runningJobs().size(),
+                "ledger audit: " << running_.size() << " running entries, "
+                                 << simulator.runningJobs().size()
+                                 << " running jobs");
+  for (const JobId id : simulator.runningJobs()) {
+    const auto it = running_.find(id);
+    SPS_CHECK_MSG(it != running_.end(),
+                  "ledger audit: running job " << id << " has no entry");
+    SPS_CHECK_MSG(it->second.start == simulator.exec(id).segStart,
+                  "ledger audit: job " << id << " entry start "
+                                       << it->second.start << " != segStart "
+                                       << simulator.exec(id).segStart);
+    SPS_CHECK_MSG(it->second.end == beliefEnd(simulator, id),
+                  "ledger audit: job " << id << " entry end "
+                                       << it->second.end << " != believed end "
+                                       << beliefEnd(simulator, id));
+    SPS_CHECK_MSG(it->second.procs == simulator.job(id).procs,
+                  "ledger audit: job " << id << " entry width "
+                                       << it->second.procs << " != "
+                                       << simulator.job(id).procs);
+  }
+  // From-scratch rebuild of the ledger's own layers at the profile's
+  // current origin — exactly what rebuild() would produce — compared as a
+  // step function, so incremental-maintenance drift (a bad addBusy /
+  // removeBusy / shiftOrigin) cannot hide behind breakpoint layout.
+  AvailabilityProfile scratch(profile_.origin(), totalProcs_);
+  for (const auto& [id, entry] : running_) {
+    (void)id;
+    scratch.addBusy(entry.start, entry.end, entry.procs);
+  }
+  for (const auto& [id, entry] : reservations_) {
+    (void)id;
+    scratch.addBusy(entry.start, entry.end, entry.procs);
+  }
+  SPS_CHECK_MSG(profile_.sameFunctionAs(scratch),
+                "ledger audit: maintained profile diverged from a "
+                "from-scratch rebuild at origin "
+                    << profile_.origin());
+}
+
 std::uint32_t ReservationLedger::zombieProcsAt(Time now) const {
   std::uint32_t procs = 0;
   for (auto it = byEnd_.begin(); it != byEnd_.end() && it->first <= now; ++it)

@@ -96,6 +96,14 @@ class ReservationLedger {
   }
   [[nodiscard]] AvailabilityProfile& mutableProfile() { return profile_; }
 
+  /// Invariant audit (sps::check): the running layer must mirror the
+  /// simulator's Running set exactly (same jobs, segment starts, widths,
+  /// believed ends), and the profile must equal a from-scratch rebuild of
+  /// running entries + reservations at the profile's current origin
+  /// (AvailabilityProfile::sameFunctionAs). Read-only; callable between
+  /// events in either kernel mode. Throws InvariantError on divergence.
+  void audit(const sim::Simulator& simulator) const;
+
   /// Total processors held by running jobs whose *estimated* end is <= now
   /// — their completion events are pending in the current timestamp batch,
   /// so the profile already counts them free, but the machine has not

@@ -21,9 +21,18 @@ std::string DepthBackfill::name() const {
 }
 
 Time DepthBackfill::guaranteeOf(JobId job) const {
-  for (const auto& [id, start] : guarantees_)
-    if (id == job) return start;
-  return kNoTime;
+  // guarantees_ parallels the reserved prefix of queue_, which is in
+  // submission order; trace ids are dense in submission order, so the
+  // vector is sorted by id and binary search applies. The sps::check
+  // guarantee oracle polls this per queued job per sampled event, so the
+  // old linear scan would make checked depth-inf runs O(queue^2).
+  const auto it = std::lower_bound(
+      guarantees_.begin(), guarantees_.end(), job,
+      [](const std::pair<JobId, Time>& entry, JobId id) {
+        return entry.first < id;
+      });
+  if (it == guarantees_.end() || it->first != job) return kNoTime;
+  return it->second;
 }
 
 void DepthBackfill::onSimulationStart(sim::Simulator& simulator) {

@@ -48,8 +48,16 @@ class DepthBackfill final : public sim::SchedulingPolicy {
   void onSimulationEnd(sim::Simulator& simulator) override;
 
   /// Current guarantee of a queued job, or kNoTime when it holds none
-  /// (either unreserved or already started).
+  /// (either unreserved or already started). O(log depth): guarantees_
+  /// parallels a prefix of the submission-ordered queue, and ids are dense
+  /// in submission order, so the vector is sorted by id.
   [[nodiscard]] Time guaranteeOf(JobId job) const;
+
+  /// The kernel ledger backing this policy, for the sps::check ledger
+  /// audit. Read-only.
+  [[nodiscard]] const kernel::ReservationLedger& ledger() const {
+    return ledger_;
+  }
 
  private:
   /// Re-derive the whole schedule decision: anchor the first `depth` queued

@@ -59,6 +59,12 @@ class EasyBackfill final : public sim::SchedulingPolicy {
   /// queued job), for tests and diagnostics.
   [[nodiscard]] std::uint64_t backfillCount() const { return backfills_; }
 
+  /// The kernel ledger backing this policy, for the sps::check ledger
+  /// audit. Read-only.
+  [[nodiscard]] const kernel::ReservationLedger& ledger() const {
+    return ledger_;
+  }
+
  private:
   void schedulePass(sim::Simulator& simulator);
   void enqueue(const sim::Simulator& simulator, JobId job);

@@ -163,6 +163,18 @@ bool SelectiveSuspension::victimEligible(const sim::Simulator& s,
   return true;
 }
 
+std::optional<double> SelectiveSuspension::victimProtectionLimit(
+    const sim::Simulator& s, JobId job) const {
+  const std::size_t category = estimateCategory(s.job(job));
+  if (config_.tssLimits) return (*config_.tssLimits)[category];
+  if (config_.tssOnlineMultiplier) {
+    const auto& [n, mean] = onlineSlowdowns_[category];
+    if (n >= config_.tssOnlineMinSamples)
+      return *config_.tssOnlineMultiplier * mean;
+  }
+  return std::nullopt;
+}
+
 std::vector<JobId> SelectiveSuspension::idleByPriority(
     const sim::Simulator& s) {
   // The kernel index does not know about claims (they are policy state, not

@@ -118,6 +118,15 @@ class SelectiveSuspension final : public sim::SchedulingPolicy {
     return preemptions_;
   }
 
+  /// Current TSS victim-protection limit applying to `job`: the static
+  /// per-category limit (tssLimits), or the online average once the job's
+  /// category has enough samples; nullopt when no protection applies
+  /// (plain SS, or an online category still warming up). Evaluated against
+  /// the same state victimEligible sees, so the sps::check TSS-bound
+  /// oracle can assert every suspension honoured it.
+  [[nodiscard]] std::optional<double> victimProtectionLimit(
+      const sim::Simulator& s, JobId job) const;
+
  private:
   /// A preemptor that paid for suspensions whose processors are still
   /// draining (only arises with an overhead model). The claim fences the

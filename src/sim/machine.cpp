@@ -39,19 +39,21 @@ ProcSet Machine::allocateAvoiding(std::uint32_t n, const ProcSet& avoid,
   return chosen;
 }
 
-ProcSet Machine::allocatePreferring(std::uint32_t n, const ProcSet& avoid,
-                                    Time now) {
+ProcSet Machine::allocatePreferring(std::uint32_t n, const ProcSet& softAvoid,
+                                    const ProcSet& hardAvoid, Time now) {
   SPS_CHECK_MSG(n > 0, "allocatePreferring(0)");
-  SPS_CHECK_MSG(n <= freeCount(), "allocatePreferring(" << n << ") with only "
-                                      << freeCount() << " free");
+  const ProcSet pool = free_ - hardAvoid;
+  SPS_CHECK_MSG(n <= pool.count(), "allocatePreferring(" << n << ") with only "
+                                       << pool.count()
+                                       << " unfenced free processors");
   advance(now);
-  const ProcSet preferred = free_ - avoid;
+  const ProcSet preferred = pool - softAvoid;
   ProcSet chosen;
   if (preferred.count() >= n) {
     chosen = preferred.lowest(n);
   } else {
     chosen = preferred;
-    chosen |= (free_ & avoid).lowest(n - preferred.count());
+    chosen |= (pool & softAvoid).lowest(n - preferred.count());
   }
   free_ -= chosen;
   return chosen;

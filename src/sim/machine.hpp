@@ -33,11 +33,15 @@ class Machine {
   /// processors outside `avoid`.
   ProcSet allocateAvoiding(std::uint32_t n, const ProcSet& avoid, Time now);
 
-  /// Allocate `n` free processors, drawing from outside `avoid` first and
-  /// dipping into `avoid` only for the shortfall — minimizes the overlap
-  /// with processor sets owed to suspended jobs when full avoidance is
-  /// impossible. Requires n <= freeCount().
-  ProcSet allocatePreferring(std::uint32_t n, const ProcSet& avoid, Time now);
+  /// Allocate `n` free processors in two tiers: outside both avoid sets
+  /// first, dipping into `softAvoid` only for the shortfall — minimizes the
+  /// overlap with processor sets owed to suspended jobs when full avoidance
+  /// is impossible. `hardAvoid` is a fence and is never touched (found by
+  /// the differential fuzzer: folding both tiers into one set let the
+  /// shortfall path hand out fenced processors). Requires n free
+  /// processors outside `hardAvoid`.
+  ProcSet allocatePreferring(std::uint32_t n, const ProcSet& softAvoid,
+                             const ProcSet& hardAvoid, Time now);
 
   /// Allocate exactly `procs` (all must currently be free) — the resume path
   /// of a suspended job, which must reclaim its original processors.

@@ -224,7 +224,7 @@ void Simulator::startJobPreferring(JobId id, const ProcSet& softAvoid,
   SPS_CHECK_MSG(pool.count() >= job(id).procs,
                 "startJobPreferring(" << id << "): insufficient unfenced "
                                          "processors");
-  x.procs = machine_.allocatePreferring(job(id).procs, softAvoid | hardAvoid,
+  x.procs = machine_.allocatePreferring(job(id).procs, softAvoid, hardAvoid,
                                         now_);
   SPS_CHECK(!x.procs.intersects(hardAvoid));
   removeFrom(queued_, id);

@@ -269,19 +269,6 @@ class Simulator {
   [[nodiscard]] obs::Recorder& recorder() const { return *obs_; }
   [[nodiscard]] obs::Counters& counters() const { return obs_->counters; }
 
-  using StateChangeHook = ObserverRegistry::StateChangeFn;
-  /// Transitional shims for the pre-registry API; both now append to
-  /// observers() (setStateChangeHook no longer replaces a previous hook,
-  /// and the separate fires-last user slot is gone). Removed next PR.
-  [[deprecated("use observers().onStateChange()")]] void setStateChangeHook(
-      StateChangeHook hook) {
-    registry_.onStateChange(std::move(hook));
-  }
-  [[deprecated("use observers().onStateChange()")]] void
-  addStateChangeObserver(StateChangeHook observer) {
-    registry_.onStateChange(std::move(observer));
-  }
-
  private:
   void handleArrival(JobId id);
   void handleCompletion(JobId id, std::uint64_t generation);

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "helpers.hpp"
 #include "metrics/collector.hpp"
 #include "sched/overhead.hpp"
@@ -129,7 +130,15 @@ TEST_P(ChaosFuzz, KernelInvariantsSurviveRandomActions) {
   sim::Simulator::Config config;
   if (param.overhead) config.overhead = &overhead;
   sim::Simulator s(trace, policy, config);
+  // The full invariant oracle rides along at stride 1: chaos interleavings
+  // must satisfy capacity/conservation like any well-behaved scheduler.
+  // (ChaosPolicy exposes no guarantee/TSS/ledger probes, so those layers
+  // arm as no-ops.)
+  check::InvariantChecker checker(check::CheckConfig::all(1));
+  checker.arm(s, policy);
   s.run();
+  checker.finalize(s);
+  EXPECT_GT(checker.epochAudits(), 0u);
   s.auditState();
 
   for (const auto& j : trace.jobs) {

@@ -188,26 +188,35 @@ TEST(ObserverRegistry, TypedSubscriptionsFire) {
             s.counters().value(Counter::SimClockAdvances));
 }
 
-TEST(ObserverRegistry, DeprecatedHookStillForwards) {
+// PR 3 deprecated the pre-registry shims; this PR removes them. The
+// requires-expressions prove the names are gone from the API (a revival
+// would flip these to true and fail), and the registry test shows the
+// replacement carries multiple subscribers natively.
+template <typename S>
+concept HasLegacyHook = requires(S s) {
+  s.setStateChangeHook(
+      [](const sim::Simulator&, JobId, sim::JobState, sim::JobState) {});
+};
+template <typename S>
+concept HasLegacyObserver = requires(S s) {
+  s.addStateChangeObserver(
+      [](const sim::Simulator&, JobId, sim::JobState, sim::JobState) {});
+};
+static_assert(!HasLegacyHook<sim::Simulator>,
+              "setStateChangeHook shim was removed in this PR");
+static_assert(!HasLegacyObserver<sim::Simulator>,
+              "addStateChangeObserver shim was removed in this PR");
+
+TEST(ObserverRegistry, MultipleSubscribersAllForward) {
   const auto trace = suspensionTrace();
   test::ScriptedPolicy policy;
   sim::Simulator s(trace, policy);
   std::uint64_t transitions = 0;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  s.setStateChangeHook(
-      [&](const sim::Simulator&, JobId, sim::JobState, sim::JobState) {
-        ++transitions;
-      });
-  s.addStateChangeObserver(
-      [&](const sim::Simulator&, JobId, sim::JobState, sim::JobState) {
-        ++transitions;
-      });
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  for (int i = 0; i < 2; ++i)
+    s.observers().onStateChange(
+        [&](const sim::Simulator&, JobId, sim::JobState, sim::JobState) {
+          ++transitions;
+        });
   EXPECT_EQ(s.observers().stateChangeCount(), 2u);
   s.run();
   EXPECT_EQ(transitions, 2 * s.counters().value(Counter::SimTransitions));

@@ -82,7 +82,7 @@ TEST(BoundedPareto, RejectsBadArguments) {
 TEST(AllocatePreferring, AvoidsWhenPossible) {
   sim::Machine m(16);
   const sim::ProcSet avoid = sim::ProcSet::firstN(8);
-  const sim::ProcSet got = m.allocatePreferring(8, avoid, 0);
+  const sim::ProcSet got = m.allocatePreferring(8, avoid, sim::ProcSet{}, 0);
   EXPECT_FALSE(got.intersects(avoid));
   EXPECT_EQ(got.count(), 8u);
 }
@@ -90,7 +90,7 @@ TEST(AllocatePreferring, AvoidsWhenPossible) {
 TEST(AllocatePreferring, DipsInOnlyForShortfall) {
   sim::Machine m(16);
   const sim::ProcSet avoid = sim::ProcSet::firstN(12);
-  const sim::ProcSet got = m.allocatePreferring(8, avoid, 0);
+  const sim::ProcSet got = m.allocatePreferring(8, avoid, sim::ProcSet{}, 0);
   EXPECT_EQ(got.count(), 8u);
   // 4 non-avoided processors exist (12-15); the shortfall of 4 comes from
   // the avoided set.
@@ -101,15 +101,38 @@ TEST(AllocatePreferring, DipsInOnlyForShortfall) {
 TEST(AllocatePreferring, FullOverlapStillAllocates) {
   sim::Machine m(8);
   const sim::ProcSet avoid = sim::ProcSet::firstN(8);
-  const sim::ProcSet got = m.allocatePreferring(8, avoid, 0);
+  const sim::ProcSet got = m.allocatePreferring(8, avoid, sim::ProcSet{}, 0);
   EXPECT_EQ(got.count(), 8u);
 }
 
 TEST(AllocatePreferring, InsufficientFreeThrows) {
   sim::Machine m(8);
   m.allocate(6, 0);
-  EXPECT_THROW((void)m.allocatePreferring(4, sim::ProcSet{}, 0),
+  EXPECT_THROW((void)m.allocatePreferring(4, sim::ProcSet{}, sim::ProcSet{}, 0),
                InvariantError);
+}
+
+// Found by sps_fuzz (seed 2829767830633408312, ss:1.5, Incremental): when
+// the shortfall path had to dip into avoided processors, the merged
+// soft|hard avoid set let it hand out FENCED processors even though
+// soft-avoided ones sufficed. The fence must never be touched.
+TEST(AllocatePreferring, ShortfallNeverTakesHardFence) {
+  sim::Machine m(16);
+  const sim::ProcSet hard = sim::ProcSet::firstN(4);        // procs 0-3
+  sim::ProcSet soft = sim::ProcSet::firstN(12) - hard;      // procs 4-11
+  // Only 4 procs (12-15) are outside both sets; asking for 8 forces the
+  // shortfall path. Pre-fix, .lowest() on the merged set returned 0-3.
+  const sim::ProcSet got = m.allocatePreferring(8, soft, hard, 0);
+  EXPECT_EQ(got.count(), 8u);
+  EXPECT_FALSE(got.intersects(hard));
+  EXPECT_EQ((got & soft).count(), 4u);
+}
+
+TEST(AllocatePreferring, InsufficientUnfencedThrows) {
+  sim::Machine m(8);
+  EXPECT_THROW(
+      (void)m.allocatePreferring(6, sim::ProcSet{}, sim::ProcSet::firstN(4), 0),
+      InvariantError);
 }
 
 // --- Simulator::resumeJobMigrating ----------------------------------------------

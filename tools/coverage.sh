@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Line-coverage report for the sps library (src/ only).
+#
+# Configures build-cov with -DSPS_COVERAGE=ON, runs the full ctest suite,
+# then aggregates per-file line coverage with plain gcov — no gcovr/lcov
+# dependency. The summary table and the total land on stdout; keep the
+# total in docs/API.md up to date when it moves materially.
+#
+#   tools/coverage.sh              # full suite
+#   tools/coverage.sh -L check     # any extra args go to ctest
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-cov"
+
+cmake -B "$build" -S "$repo" -DSPS_COVERAGE=ON >/dev/null
+cmake --build "$build" -j"$(nproc)" >/dev/null
+(cd "$build" && ctest --output-on-failure "$@" >/dev/null)
+
+# gcov writes per-source .gcov files; run it object-dir by object-dir so
+# every translation unit of the sps library is covered exactly once.
+gcovdir="$build/gcov-report"
+rm -rf "$gcovdir" && mkdir -p "$gcovdir"
+find "$build/src" -name '*.gcda' -print0 |
+  (cd "$gcovdir" && xargs -0 gcov -r -s "$repo" >/dev/null 2>&1 || true)
+
+# Aggregate "Lines executed" per src/ file from the .gcov outputs:
+# a line counts as instrumented when its count field is numeric or '#####'
+# (never executed); '-' lines carry no code.
+python3 - "$gcovdir" "$repo" <<'EOF'
+import os, sys
+gcovdir, repo = sys.argv[1], sys.argv[2]
+rows = []
+for name in sorted(os.listdir(gcovdir)):
+    if not name.endswith('.gcov'):
+        continue
+    src = None
+    covered = instrumented = 0
+    with open(os.path.join(gcovdir, name)) as f:
+        for line in f:
+            parts = line.split(':', 2)
+            if len(parts) < 3:
+                continue
+            count = parts[0].strip()
+            if parts[1].strip() == '0':
+                if parts[2].startswith('Source:'):
+                    src = parts[2][len('Source:'):].strip()
+                continue
+            if count == '-':
+                continue
+            instrumented += 1
+            if count != '#####' and count != '=====':
+                covered += 1
+    if not src or instrumented == 0:
+        continue
+    rel = os.path.relpath(os.path.join(repo, src), repo)
+    if not rel.startswith('src/'):
+        continue  # report the library, not tests/tools/gtest
+    rows.append((rel, covered, instrumented))
+
+width = max(len(r[0]) for r in rows)
+total_cov = total_ins = 0
+for rel, covered, instrumented in rows:
+    total_cov += covered
+    total_ins += instrumented
+    print(f"{rel:<{width}}  {covered:>5}/{instrumented:<5} "
+          f"{100.0 * covered / instrumented:6.1f}%")
+print('-' * (width + 22))
+print(f"{'TOTAL':<{width}}  {total_cov:>5}/{total_ins:<5} "
+      f"{100.0 * total_cov / total_ins:6.1f}%")
+EOF

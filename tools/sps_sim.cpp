@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check_config.hpp"
 #include "core/cli_config.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
@@ -66,12 +67,13 @@ struct CliOptions {
   std::size_t threads = 0;
   std::string factors = "1.0,1.1,1.2,1.3";
   std::size_t seeds = 5;
-  bool compareAlias = false;  ///< deprecated `run --compare`
   // Observability
   std::string traceFile;
   std::string traceFormat = "chrome";
   bool counters = false;
   bool verbose = false;
+  bool check = false;  ///< arm the sps::check invariant oracle
+  std::size_t checkStride = 16;
   // Output
   bool json = false;
   bool csv = false;
@@ -111,6 +113,12 @@ void addObsFlags(core::CliConfig& cli, CliOptions& opt) {
   cli.flag("--counters", &opt.counters,
            "print the obs counter table after the run");
   cli.flag("--verbose", &opt.verbose, "log at Info level");
+  cli.flag("--check", &opt.check,
+           "arm the sps::check invariant oracle (capacity, conservation, "
+           "guarantees, TSS bound, ledger audits); a violation aborts the "
+           "run with an InvariantError");
+  cli.option("--check-stride", &opt.checkStride, "N",
+             "run the sampled audits every N events (default: 16)");
 }
 
 void addOutputFlags(core::CliConfig& cli, CliOptions& opt) {
@@ -154,10 +162,6 @@ core::CliCommands makeCli(CliOptions& opt) {
              "reservation depth for depth (default: 2)");
   run.flag("--overhead", &opt.overhead,
            "2 MB/s disk-swap suspension cost (Section V-A)");
-  run.flag("--compare", &opt.compareAlias,
-           "deprecated alias for the 'compare' subcommand");
-  run.option("--threads", &opt.threads, "N",
-             "worker threads for --compare (0 = all hardware threads)");
   addObsFlags(run, opt);
   addOutputFlags(run, opt);
   run.section("Output");
@@ -508,12 +512,7 @@ int main(int argc, char** argv) {
   }
   if (opt.verbose) setLogLevel(LogLevel::Info);
 
-  std::string command = outcome.command;
-  if (opt.compareAlias && command == "run") {
-    std::cerr << "sps_sim: note: --compare is deprecated; use "
-                 "'sps_sim compare'\n";
-    command = "compare";
-  }
+  const std::string& command = outcome.command;
 
   try {
     const bool batch = command != "run";
@@ -522,6 +521,9 @@ int main(int argc, char** argv) {
     std::unique_ptr<obs::TraceSink> sink = makeSink(opt);
     core::SimulationOptions options;
     options.traceSink = sink.get();
+    if (opt.check)
+      options.check = check::CheckConfig::all(
+          static_cast<std::uint32_t>(opt.checkStride));
     std::optional<sched::DiskSwapOverhead> overhead;
 
     if (command == "replicate") {
