@@ -174,6 +174,11 @@ void runKernelSweep() {
   // Its overhead vs the unchecked incremental lane is the cost of --check.
   core::SimulationOptions checked;
   checked.check = check::CheckConfig::all();
+  // The telemetry lane: timeline sampling at the default stride on the
+  // incremental kernel. Its overhead vs the plain incremental lane is the
+  // cost of --timeline; the acceptance bound is <= 5%.
+  core::SimulationOptions sampled;
+  sampled.timeline.enabled = true;
 
   for (const auto& [label, policySpec] : policies) {
     const Lane reb =
@@ -183,8 +188,12 @@ void runKernelSweep() {
     const Lane chk = timeLane(trace, withMode(policySpec,
                                               KernelMode::Incremental),
                               repeats, checked);
+    const Lane tl = timeLane(trace, withMode(policySpec,
+                                             KernelMode::Incremental),
+                             repeats, sampled);
     const double speedup = inc.eventsPerSec / reb.eventsPerSec;
     const double checkOverhead = inc.eventsPerSec / chk.eventsPerSec;
+    const double timelineOverhead = inc.eventsPerSec / tl.eventsPerSec;
     w.beginObject();
     w.field("policy", label);
     w.key("rebuild").beginObject();
@@ -208,12 +217,21 @@ void runKernelSweep() {
             static_cast<std::uint64_t>(checked.check.auditStride));
     w.field("overheadFactor", checkOverhead);
     w.endObject();
+    w.key("timeline").beginObject();
+    w.field("wallSeconds", tl.wallSeconds);
+    w.field("eventsPerSec", tl.eventsPerSec);
+    w.field("samples", tl.counters.value(obs::Counter::TimelineSamples));
+    w.field("decimations",
+            tl.counters.value(obs::Counter::TimelineDecimations));
+    w.field("overheadFactor", timelineOverhead);
+    w.endObject();
     w.field("speedup", speedup);
     w.endObject();
     std::cout << "  " << label << ": rebuild " << reb.eventsPerSec
               << " ev/s, incremental " << inc.eventsPerSec << " ev/s ("
               << speedup << "x), checked " << chk.eventsPerSec << " ev/s ("
-              << checkOverhead << "x overhead)\n";
+              << checkOverhead << "x overhead), timeline " << tl.eventsPerSec
+              << " ev/s (" << timelineOverhead << "x overhead)\n";
   }
   w.endArray();
   w.endObject();

@@ -1,0 +1,207 @@
+#include "core/progress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace sps::core {
+
+RunProgressListener::~RunProgressListener() = default;
+
+// --- Ticket ----------------------------------------------------------------
+
+ProgressBoard::Ticket::~Ticket() {
+  // Exception path: the run never reached finishRun. Free the slot so the
+  // board does not report a phantom in-flight run forever; the events
+  // published so far stay counted (they did happen).
+  if (board_ != nullptr) board_->release(*this);
+}
+
+ProgressBoard::Ticket& ProgressBoard::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    if (board_ != nullptr) board_->release(*this);
+    board_ = std::exchange(other.board_, nullptr);
+    slot_ = std::exchange(other.slot_, nullptr);
+    horizon_ = other.horizon_;
+    published_ = other.published_;
+  }
+  return *this;
+}
+
+void ProgressBoard::Ticket::onSimProgress(Time simNow,
+                                          std::uint64_t eventsSoFar) {
+  if (board_ == nullptr) return;
+  const double fraction =
+      horizon_ > 0
+          ? std::min(1.0, static_cast<double>(simNow) /
+                              static_cast<double>(horizon_))
+          : 1.0;
+  slot_->fraction.store(fraction, std::memory_order_relaxed);
+  board_->events_.fetch_add(eventsSoFar - published_,
+                            std::memory_order_relaxed);
+  published_ = eventsSoFar;
+}
+
+// --- ProgressBoard ---------------------------------------------------------
+
+void ProgressBoard::beginBatch(std::size_t runs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!started_) {
+    start_ = std::chrono::steady_clock::now();
+    started_ = true;
+  }
+  runsTotal_.fetch_add(runs, std::memory_order_relaxed);
+}
+
+ProgressBoard::Ticket ProgressBoard::startRun(Time horizon) {
+  Ticket ticket;
+  ticket.board_ = this;
+  ticket.horizon_ = horizon;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (freeSlots_.empty()) {
+    slots_.emplace_back();
+    ticket.slot_ = &slots_.back();
+  } else {
+    ticket.slot_ = freeSlots_.back();
+    freeSlots_.pop_back();
+  }
+  ticket.slot_->fraction.store(0.0, std::memory_order_relaxed);
+  ticket.slot_->active.store(true, std::memory_order_release);
+  return ticket;
+}
+
+void ProgressBoard::finishRun(Ticket& ticket, std::uint64_t finalEvents) {
+  if (ticket.board_ == nullptr) return;
+  // Replace the strided estimate with the exact count: the board's total is
+  // then the exact sum over finished runs, independent of publish timing —
+  // the thread-count-invariance half of the determinism contract.
+  events_.fetch_add(finalEvents - ticket.published_,
+                    std::memory_order_relaxed);
+  ticket.published_ = finalEvents;
+  runsDone_.fetch_add(1, std::memory_order_relaxed);
+  release(ticket);
+}
+
+void ProgressBoard::release(Ticket& ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ticket.slot_->active.store(false, std::memory_order_release);
+  ticket.slot_->fraction.store(0.0, std::memory_order_relaxed);
+  freeSlots_.push_back(ticket.slot_);
+  ticket.board_ = nullptr;
+  ticket.slot_ = nullptr;
+}
+
+ProgressSnapshot ProgressBoard::snapshot() const {
+  ProgressSnapshot s;
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.runsTotal = runsTotal_.load(std::memory_order_relaxed);
+  s.runsDone = runsDone_.load(std::memory_order_relaxed);
+  s.events = events_.load(std::memory_order_relaxed);
+  double activeSum = 0.0;
+  for (const Slot& slot : slots_) {
+    if (!slot.active.load(std::memory_order_acquire)) continue;
+    const double f = slot.fraction.load(std::memory_order_relaxed);
+    s.activeSimFractions.push_back(f);
+    activeSum += f;
+  }
+  s.runsActive = s.activeSimFractions.size();
+  if (started_) {
+    s.elapsedSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  }
+  if (s.elapsedSeconds > 0.0)
+    s.eventsPerSec = static_cast<double>(s.events) / s.elapsedSeconds;
+  if (s.runsTotal > 0) {
+    s.fractionDone = (static_cast<double>(s.runsDone) + activeSum) /
+                     static_cast<double>(s.runsTotal);
+    s.fractionDone = std::min(s.fractionDone, 1.0);
+  }
+  if (s.fractionDone > 0.0)
+    s.etaSeconds = s.elapsedSeconds * (1.0 - s.fractionDone) / s.fractionDone;
+  return s;
+}
+
+// --- ProgressReporter ------------------------------------------------------
+
+namespace {
+
+std::string formatEta(double seconds) {
+  if (seconds < 0.0) return "--";
+  const auto total = static_cast<std::int64_t>(seconds + 0.5);
+  std::ostringstream os;
+  if (total >= 3600) os << total / 3600 << "h" << (total % 3600) / 60 << "m";
+  else if (total >= 60) os << total / 60 << "m" << total % 60 << "s";
+  else os << total << "s";
+  return os.str();
+}
+
+std::string formatRate(double eventsPerSec) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (eventsPerSec >= 1e6) os << std::setprecision(1)
+                              << eventsPerSec / 1e6 << "M";
+  else if (eventsPerSec >= 1e3) os << std::setprecision(0)
+                                   << eventsPerSec / 1e3 << "k";
+  else os << std::setprecision(0) << eventsPerSec;
+  return os.str();
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(const ProgressBoard& board,
+                                   std::ostream& os,
+                                   std::chrono::milliseconds interval)
+    : board_(board), os_(os), interval_(interval) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(stopMutex_);
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      render(board_.snapshot(), /*final=*/false);
+      lock.lock();
+      stopCv_.wait_for(lock, interval_, [this] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
+    }
+  });
+}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+void ProgressReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stopMutex_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  stopCv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(stopMutex_);
+  if (!stopped_) {
+    stopped_ = true;
+    render(board_.snapshot(), /*final=*/true);
+  }
+}
+
+void ProgressReporter::render(const ProgressSnapshot& s, bool final) {
+  std::ostringstream line;
+  line << "[" << s.runsDone << "/" << s.runsTotal << " runs] "
+       << std::fixed << std::setprecision(1) << s.fractionDone * 100.0
+       << "% | " << formatRate(s.eventsPerSec) << " ev/s | eta "
+       << formatEta(final ? 0.0 : s.etaSeconds);
+  if (!final && s.runsActive > 0) line << " | " << s.runsActive << " active";
+  // Pad so a shorter frame fully overwrites a longer previous one.
+  std::string text = line.str();
+  if (text.size() < 64) text.append(64 - text.size(), ' ');
+  std::lock_guard<std::mutex> lock(sps::detail::ioMutex());
+  os_ << '\r' << text;
+  if (final) os_ << '\n';
+  os_.flush();
+}
+
+}  // namespace sps::core

@@ -6,8 +6,11 @@
 #include <sstream>
 #include <utility>
 
+#include "core/progress.hpp"
+#include "metrics/openmetrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 
 namespace sps::core {
 
@@ -32,6 +35,19 @@ Runner::~Runner() = default;
 
 void Runner::onRunComplete(RunCompleteHook hook) { hook_ = std::move(hook); }
 
+void Runner::attachProgress(ProgressBoard* board) { progress_ = board; }
+
+obs::Counters Runner::engineCounters() const {
+  std::lock_guard<std::mutex> lock(hookMutex_);
+  return engineCounters_;
+}
+
+namespace {
+Time progressHorizon(const workload::Trace& trace) {
+  return trace.jobs.empty() ? Time{0} : trace.jobs.back().submit;
+}
+}  // namespace
+
 RunResult Runner::execute(const RunRequest& request, std::size_t index) {
   SPS_CHECK_MSG(request.trace != nullptr,
                 "RunRequest " << index << " has no trace");
@@ -40,9 +56,17 @@ RunResult Runner::execute(const RunRequest& request, std::size_t index) {
   result.seed = request.seed;
   result.label =
       request.label.empty() ? policyLabel(request.spec) : request.label;
+  SimulationOptions options = request.options;
+  ProgressBoard::Ticket ticket;
+  if (progress_ != nullptr) {
+    ticket = progress_->startRun(progressHorizon(*request.trace));
+    options.progress = &ticket;
+  }
   const auto start = std::chrono::steady_clock::now();
-  result.stats = runSimulation(*request.trace, request.spec, request.options);
+  result.stats = runSimulation(*request.trace, request.spec, options);
   const auto end = std::chrono::steady_clock::now();
+  if (progress_ != nullptr)
+    progress_->finishRun(ticket, result.stats.eventsProcessed);
   result.wallSeconds = std::chrono::duration<double>(end - start).count();
   result.policyName = result.stats.policyName;
   result.traceName = result.stats.traceName;
@@ -71,10 +95,25 @@ RunResult Runner::execute(const RunRequest& request, std::size_t index) {
 void Runner::notify(const RunResult& result) {
   if (!hook_) return;
   std::lock_guard<std::mutex> lock(hookMutex_);
-  hook_(result);
+  // A hook failure is the caller's bug, but it must not tear down the pool
+  // or poison the batch's results: contain it, make it visible, count it.
+  try {
+    hook_(result);
+  } catch (const std::exception& e) {
+    engineCounters_.inc(obs::Counter::RunnerHookExceptions);
+    SPS_LOG_WARN("onRunComplete hook threw for run " << result.index << " ("
+                                                     << result.label
+                                                     << "): " << e.what());
+  } catch (...) {
+    engineCounters_.inc(obs::Counter::RunnerHookExceptions);
+    SPS_LOG_WARN("onRunComplete hook threw for run "
+                 << result.index << " (" << result.label
+                 << "): non-std exception");
+  }
 }
 
 RunResult Runner::runOne(const RunRequest& request) {
+  if (progress_ != nullptr) progress_->beginBatch(1);
   RunResult result = execute(request, 0);
   notify(result);
   return result;
@@ -83,6 +122,7 @@ RunResult Runner::runOne(const RunRequest& request) {
 std::vector<RunResult> Runner::runAll(std::vector<RunRequest> requests) {
   std::vector<RunResult> results(requests.size());
   if (requests.empty()) return results;
+  if (progress_ != nullptr) progress_->beginBatch(requests.size());
 
   // Inline path: one thread, or nothing to overlap.
   if (threads_ == 1 || requests.size() == 1) {
@@ -138,6 +178,22 @@ std::string runResultsJson(const std::vector<RunResult>& results,
   std::ostringstream os;
   writeRunResultsJson(os, results, options);
   return os.str();
+}
+
+void writeRunResultsOpenMetrics(std::ostream& os,
+                                const std::vector<RunResult>& results) {
+  std::vector<metrics::OpenMetricsEntry> entries;
+  entries.reserve(results.size());
+  for (const RunResult& r : results) {
+    metrics::OpenMetricsEntry entry;
+    entry.stats = &r.stats;
+    entry.run = r.index;
+    entry.label = r.label;
+    entry.seed = r.seed;
+    entry.wallSeconds = r.wallSeconds;
+    entries.push_back(std::move(entry));
+  }
+  metrics::writeOpenMetrics(os, entries);
 }
 
 }  // namespace sps::core

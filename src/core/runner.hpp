@@ -26,9 +26,12 @@
 
 #include "core/simulation.hpp"
 #include "metrics/json.hpp"
+#include "obs/counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sps::core {
+
+class ProgressBoard;  // core/progress.hpp
 
 /// One simulation to run: trace + policy + options, plus bookkeeping fields
 /// that are echoed untouched into the RunResult so batch builders can tag
@@ -80,8 +83,12 @@ class Runner {
   };
 
   /// Progress hook, called once per finished run in *completion* order
-  /// (not index order). Invocations are serialized; the hook needs no
-  /// internal locking.
+  /// (not index order). It fires on the worker thread that finished the run
+  /// (the calling thread on the inline threads==1 / single-request path).
+  /// Invocations are serialized; the hook needs no internal locking. A hook
+  /// that throws does not kill the worker or fail the batch: the exception
+  /// is caught, logged at Warning, and counted in engineCounters() under
+  /// obs::Counter::RunnerHookExceptions.
   using RunCompleteHook = std::function<void(const RunResult&)>;
 
   Runner();  ///< default Config
@@ -94,6 +101,17 @@ class Runner {
   [[nodiscard]] std::size_t threadCount() const { return threads_; }
 
   void onRunComplete(RunCompleteHook hook);
+
+  /// Publish live batch progress to `board` (see core/progress.hpp):
+  /// runAll/runOne announce their runs via beginBatch and every run streams
+  /// its sim-clock fraction and event count through a board Ticket. nullptr
+  /// detaches. The board must outlive any batch started while attached.
+  void attachProgress(ProgressBoard* board);
+
+  /// Engine-level counters (hook exceptions, …) — distinct from the per-run
+  /// simulation counters inside each RunResult. Returns a copy; safe to
+  /// call while a batch runs.
+  [[nodiscard]] obs::Counters engineCounters() const;
 
   /// Run the whole batch; blocks until every run finished. Results are
   /// ordered by request index. Throws the first (by index) run's exception
@@ -112,7 +130,10 @@ class Runner {
   std::size_t threads_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< lazily created on first batch
   RunCompleteHook hook_;
-  std::mutex hookMutex_;  ///< serializes hook invocations across workers
+  /// Serializes hook invocations and guards engineCounters_ across workers.
+  mutable std::mutex hookMutex_;
+  obs::Counters engineCounters_;  ///< under hookMutex_
+  ProgressBoard* progress_ = nullptr;
 };
 
 /// JSON export of result batches, for the bench harness and sps_sim --json.
@@ -124,5 +145,11 @@ void writeRunResultsJson(std::ostream& os,
 [[nodiscard]] std::string runResultsJson(
     const std::vector<RunResult>& results,
     const metrics::JsonOptions& options = {});
+
+/// OpenMetrics exposition of a result batch (sps_sim --metrics-out): one
+/// metrics::OpenMetricsEntry per run, carrying the batch index, label, seed,
+/// and wall time alongside the stats.
+void writeRunResultsOpenMetrics(std::ostream& os,
+                                const std::vector<RunResult>& results);
 
 }  // namespace sps::core

@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "check/invariants.hpp"
+#include "core/progress.hpp"
+#include "obs/timeline.hpp"
 #include "sched/conservative.hpp"
 #include "sched/easy.hpp"
 #include "sched/fcfs.hpp"
@@ -66,9 +68,36 @@ metrics::RunStats runSimulation(const workload::Trace& trace,
     checker.emplace(options.check);
     checker->arm(simulator, *policy);
   }
+  // Telemetry rides the observer registry; with both features off nothing
+  // is registered and the event loop is untouched (the zero-cost contract).
+  std::optional<obs::TimelineRecorder> timeline;
+  if (options.timeline.enabled) {
+    timeline.emplace(options.timeline);
+    timeline->attach(simulator);
+  }
+  if (options.progress != nullptr) {
+    const std::uint64_t stride =
+        options.progressStride == 0 ? 1 : options.progressStride;
+    simulator.observers().onEventDispatched(
+        [listener = options.progress, stride,
+         n = std::uint64_t{0}](const sim::Simulator& s,
+                               const sim::Event&) mutable {
+          if (++n % stride == 0)
+            listener->onSimProgress(s.now(), s.eventsProcessed());
+        });
+  }
   simulator.run();
   if (checker) checker->finalize(simulator);
-  return metrics::collect(simulator, policyLabel(spec));
+  metrics::RunStats stats = metrics::collect(simulator, policyLabel(spec));
+  if (timeline) {
+    // Counter tracks are bounded post-run output (4 events per sample), so
+    // emission is runtime-gated on the sink — unlike the per-event SPS_TRACE
+    // layer, no instrumented build is required.
+    if (options.traceSink != nullptr)
+      timeline->emitCounterTracks(*options.traceSink);
+    stats.timeline = timeline->take();
+  }
+  return stats;
 }
 
 }  // namespace sps::core

@@ -15,6 +15,7 @@
 
 #include "check/check_config.hpp"
 #include "metrics/collector.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace_sink.hpp"
 #include "sched/conservative.hpp"
 #include "sched/depth_backfill.hpp"
@@ -26,6 +27,8 @@
 #include "workload/job.hpp"
 
 namespace sps::core {
+
+class RunProgressListener;  // core/progress.hpp
 
 enum class PolicyKind {
   Fcfs,
@@ -63,6 +66,17 @@ struct SimulationOptions {
   /// cost. With any checker enabled, runSimulation arms an
   /// InvariantChecker on the run and a violation throws InvariantError.
   check::CheckConfig check{};
+  /// Sim-clock time-series sampling (obs::TimelineRecorder). Disabled by
+  /// default; when enabled the series lands in RunStats::timeline and — if
+  /// traceSink is set — as Chrome-trace counter tracks after the run.
+  obs::TimelineConfig timeline{};
+  /// Live progress subscriber (core::ProgressBoard::Ticket, or any
+  /// RunProgressListener). nullptr = no publishing, zero cost. Invoked on
+  /// the simulating thread every `progressStride` events.
+  RunProgressListener* progress = nullptr;
+  /// Events between progress publishes; keeps the listener off the
+  /// per-event hot path.
+  std::uint32_t progressStride = 4096;
 };
 
 /// Instantiate the policy a spec describes.

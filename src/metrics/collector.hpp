@@ -7,6 +7,7 @@
 
 #include "metrics/job_record.hpp"
 #include "obs/counters.hpp"
+#include "obs/timeline.hpp"
 #include "sim/simulator.hpp"
 
 namespace sps::metrics {
@@ -31,6 +32,9 @@ struct RunStats {
   /// The run's obs counter block (always collected; counting is on in every
   /// build, only the SPS_TRACE event layer is compile-gated).
   obs::Counters counters;
+  /// Sim-clock time series, filled only when SimulationOptions::timeline is
+  /// enabled (empty otherwise — and omitted from the JSON export).
+  obs::TimelineData timeline;
 
   [[nodiscard]] double meanBoundedSlowdown() const;
   [[nodiscard]] double meanTurnaround() const;

@@ -167,6 +167,32 @@ void writeCountersJson(JsonWriter& w, const obs::Counters& counters) {
   w.endObject();
 }
 
+void writeTimelineJson(JsonWriter& w, const obs::TimelineData& timeline) {
+  const auto writeInts = [&w](std::string_view name,
+                              const std::vector<std::uint32_t>& series) {
+    w.key(name).beginArray();
+    for (const std::uint32_t v : series)
+      w.value(static_cast<std::uint64_t>(v));
+    w.endArray();
+  };
+  const auto writeDoubles = [&w](std::string_view name,
+                                 const std::vector<double>& series) {
+    w.key(name).beginArray();
+    for (const double v : series) w.value(v);
+    w.endArray();
+  };
+  w.beginObject()
+      .field("stride", timeline.stride)
+      .field("samples", static_cast<std::uint64_t>(timeline.sampleCount()));
+  writeInts("queueDepth", timeline.queueDepth);
+  writeInts("runningJobs", timeline.runningJobs);
+  writeInts("suspendedJobs", timeline.suspendedJobs);
+  writeInts("freeProcs", timeline.freeProcs);
+  writeDoubles("utilization", timeline.utilization);
+  writeDoubles("backlogProcSeconds", timeline.backlogProcSeconds);
+  w.endObject();
+}
+
 void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
                        const JsonOptions& options) {
   w.beginObject()
@@ -184,6 +210,10 @@ void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
   if (stats.counters.anyNonZero()) {
     w.key("counters");
     writeCountersJson(w, stats.counters);
+  }
+  if (!stats.timeline.empty()) {
+    w.key("timeline");
+    writeTimelineJson(w, stats.timeline);
   }
   if (options.includeJobs) {
     w.key("jobs").beginArray();

@@ -70,6 +70,9 @@ void writeJobResultJson(JsonWriter& w, const JobResult& job);
 /// any Table-I slot is non-zero. Zero counters are omitted so compact runs
 /// stay compact.
 void writeCountersJson(JsonWriter& w, const obs::Counters& counters);
+/// Timeline block: {"stride":s,"samples":n,<series arrays>}. Sample k of
+/// every series is at sim time s * (k + 1); the time axis is implicit.
+void writeTimelineJson(JsonWriter& w, const obs::TimelineData& timeline);
 void writeRunStatsJson(JsonWriter& w, const RunStats& stats,
                        const JsonOptions& options = {});
 

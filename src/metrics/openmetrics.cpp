@@ -1,0 +1,507 @@
+#include "metrics/openmetrics.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/quantile_sketch.hpp"
+
+namespace sps::metrics {
+
+namespace {
+
+/// Shortest round-trip double, same contract as the JSON writer.
+void writeNumber(std::ostream& os, double number) {
+  if (std::isnan(number)) {
+    os << "NaN";
+    return;
+  }
+  if (std::isinf(number)) {
+    os << (number > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, number);
+  os << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
+}
+
+/// Label values escape backslash, double-quote, and line feed.
+void writeLabelValue(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '\\': os << "\\\\"; break;
+      case '"': os << "\\\""; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+/// "sim.clockAdvances" -> "sim_clock_advances"-style folding is overkill;
+/// OpenMetrics only needs a legal name, so separators become '_' and
+/// anything outside [a-zA-Z0-9_] is dropped to '_'.
+std::string sanitizeName(std::string_view dotted) {
+  std::string out;
+  out.reserve(dotted.size());
+  for (const char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// The per-entry identity labels shared by every sample.
+std::string baseLabels(const OpenMetricsEntry& entry) {
+  std::ostringstream os;
+  os << "run=\"" << entry.run << "\",policy=";
+  writeLabelValue(os, entry.stats->policyName);
+  os << ",trace=";
+  writeLabelValue(os, entry.stats->traceName);
+  os << ",label=";
+  writeLabelValue(os,
+                  entry.label.empty() ? entry.stats->policyName : entry.label);
+  os << ",seed=\"" << entry.seed << "\"";
+  return os.str();
+}
+
+struct Emitter {
+  std::ostream& os;
+
+  void family(std::string_view name, std::string_view type,
+              std::string_view help) {
+    os << "# TYPE " << name << " " << type << "\n";
+    os << "# HELP " << name << " " << help << "\n";
+  }
+
+  void sample(std::string_view name, const std::string& labels, double value,
+              std::string_view extraLabel = {}) {
+    os << name << "{" << labels;
+    if (!extraLabel.empty()) os << "," << extraLabel;
+    os << "} ";
+    writeNumber(os, value);
+    os << "\n";
+  }
+};
+
+}  // namespace
+
+void writeOpenMetrics(std::ostream& os,
+                      const std::vector<OpenMetricsEntry>& entries) {
+  for (const OpenMetricsEntry& e : entries)
+    SPS_CHECK_MSG(e.stats != nullptr, "OpenMetricsEntry without stats");
+  Emitter out{os};
+
+  std::vector<std::string> labels;
+  labels.reserve(entries.size());
+  for (const OpenMetricsEntry& e : entries) labels.push_back(baseLabels(e));
+
+  // --- gauges: the RunStats scalars --------------------------------------
+  struct Gauge {
+    const char* name;
+    const char* help;
+    double (*get)(const OpenMetricsEntry&);
+  };
+  const Gauge gauges[] = {
+      {"sps_run_jobs", "Jobs completed by the run",
+       [](const OpenMetricsEntry& e) {
+         return static_cast<double>(e.stats->jobs.size());
+       }},
+      {"sps_run_utilization",
+       "Busy processor-seconds over procs x makespan, [0,1]",
+       [](const OpenMetricsEntry& e) { return e.stats->utilization; }},
+      {"sps_run_useful_utilization",
+       "Pure compute utilization (overhead excluded), [0,1]",
+       [](const OpenMetricsEntry& e) { return e.stats->usefulUtilization; }},
+      {"sps_run_steady_utilization",
+       "Utilization over the arrival window only, [0,1]",
+       [](const OpenMetricsEntry& e) { return e.stats->steadyUtilization; }},
+      {"sps_run_span_seconds",
+       "First submission to last completion, sim-seconds",
+       [](const OpenMetricsEntry& e) {
+         return static_cast<double>(e.stats->span);
+       }},
+      {"sps_run_mean_bounded_slowdown",
+       "Mean bounded slowdown (Eq. 1) over all jobs",
+       [](const OpenMetricsEntry& e) {
+         return e.stats->jobs.empty() ? 0.0 : e.stats->meanBoundedSlowdown();
+       }},
+      {"sps_run_mean_turnaround_seconds", "Mean turnaround time, sim-seconds",
+       [](const OpenMetricsEntry& e) {
+         return e.stats->jobs.empty() ? 0.0 : e.stats->meanTurnaround();
+       }},
+  };
+  for (const Gauge& g : gauges) {
+    out.family(g.name, "gauge", g.help);
+    for (std::size_t i = 0; i < entries.size(); ++i)
+      out.sample(g.name, labels[i], g.get(entries[i]));
+  }
+  bool anyWall = false;
+  for (const OpenMetricsEntry& e : entries) anyWall |= e.wallSeconds > 0.0;
+  if (anyWall) {
+    out.family("sps_run_wall_seconds", "gauge",
+               "Wall-clock time of the simulation");
+    for (std::size_t i = 0; i < entries.size(); ++i)
+      if (entries[i].wallSeconds > 0.0)
+        out.sample("sps_run_wall_seconds", labels[i],
+                   entries[i].wallSeconds);
+  }
+
+  // --- counters: the obs counter block, one family per slot --------------
+  for (std::size_t c = 0; c < obs::kCounterCount; ++c) {
+    const auto counter = static_cast<obs::Counter>(c);
+    bool any = false;
+    for (const OpenMetricsEntry& e : entries)
+      any |= e.stats->counters.value(counter) != 0;
+    if (!any) continue;
+    const std::string family =
+        "sps_" + sanitizeName(obs::counterName(counter));
+    const std::string sampleName = family + "_total";
+    out.family(family, "counter",
+               std::string("obs counter ") + obs::counterName(counter));
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const std::uint64_t v = entries[i].stats->counters.value(counter);
+      if (v != 0)
+        out.sample(sampleName, labels[i], static_cast<double>(v));
+    }
+  }
+  bool anyCategory = false;
+  for (const OpenMetricsEntry& e : entries)
+    for (const std::uint64_t v : e.stats->counters.suspensionsByCategory())
+      anyCategory |= v != 0;
+  if (anyCategory) {
+    out.family("sps_sim_suspensions_by_category", "counter",
+               "Suspensions per Table-I category (run class x width class)");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& byCat = entries[i].stats->counters.suspensionsByCategory();
+      for (std::size_t cat = 0; cat < byCat.size(); ++cat) {
+        if (byCat[cat] == 0) continue;
+        out.sample("sps_sim_suspensions_by_category_total", labels[i],
+                   static_cast<double>(byCat[cat]),
+                   "category=\"" + std::to_string(cat) + "\"");
+      }
+    }
+  }
+
+  // --- summaries: tail metrics through the quantile sketch ----------------
+  struct Summary {
+    const char* name;
+    const char* help;
+    double (*get)(const JobResult&);
+  };
+  const Summary summaries[] = {
+      {"sps_run_bounded_slowdown",
+       "Per-job bounded slowdown distribution (QuantileSketch estimate)",
+       [](const JobResult& j) { return boundedSlowdown(j); }},
+      {"sps_run_wait_seconds",
+       "Per-job wait time distribution, sim-seconds (QuantileSketch "
+       "estimate)",
+       [](const JobResult& j) { return static_cast<double>(j.waitTime()); }},
+  };
+  constexpr double kQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+  for (const Summary& s : summaries) {
+    bool anyJobs = false;
+    for (const OpenMetricsEntry& e : entries) anyJobs |= !e.stats->jobs.empty();
+    if (!anyJobs) continue;
+    out.family(s.name, "summary", s.help);
+    const std::string countName = std::string(s.name) + "_count";
+    const std::string sumName = std::string(s.name) + "_sum";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const RunStats& stats = *entries[i].stats;
+      if (stats.jobs.empty()) continue;
+      util::QuantileSketch sketch;
+      for (const JobResult& j : stats.jobs) sketch.add(s.get(j));
+      for (const double q : kQuantiles) {
+        std::ostringstream extra;
+        extra << "quantile=\"";
+        writeNumber(extra, q);
+        extra << "\"";
+        // The ostringstream already wrote the quotes; pass without them.
+        std::string extraLabel = extra.str();
+        out.sample(s.name, labels[i], sketch.quantile(q), extraLabel);
+      }
+      out.sample(countName, labels[i],
+                 static_cast<double>(sketch.count()));
+      out.sample(sumName, labels[i], sketch.sum());
+    }
+  }
+
+  os << "# EOF\n";
+}
+
+std::string openMetrics(const std::vector<OpenMetricsEntry>& entries) {
+  std::ostringstream os;
+  writeOpenMetrics(os, entries);
+  return os.str();
+}
+
+std::string openMetrics(const RunStats& stats) {
+  OpenMetricsEntry entry;
+  entry.stats = &stats;
+  return openMetrics({entry});
+}
+
+// --- validator --------------------------------------------------------------
+
+namespace {
+
+/// Line-oriented strict checker for the subset of OpenMetrics 1.0 the
+/// library emits (gauge/counter/summary families, no timestamps, no
+/// exemplars). Mirrors the JsonValidator structure: no allocation beyond
+/// the family table, first error wins.
+class OpenMetricsValidator {
+ public:
+  explicit OpenMetricsValidator(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool run(std::string* error) {
+    while (pos_ <= text_.size()) {
+      if (sawEof_) {
+        if (pos_ < text_.size()) return fail(error, "content after # EOF");
+        break;
+      }
+      if (pos_ == text_.size())
+        return fail(error, "missing terminal # EOF line");
+      std::string_view line = nextLine();
+      ++lineNo_;
+      if (!checkLine(line)) return fail(error, message_);
+    }
+    if (!sawEof_) return fail(error, "missing terminal # EOF line");
+    return true;
+  }
+
+ private:
+  enum class FamilyType { Gauge, Counter, Summary };
+
+  [[nodiscard]] bool fail(std::string* error, std::string_view message) const {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << message << " at line " << lineNo_;
+      *error = os.str();
+    }
+    return false;
+  }
+
+  bool err(std::string message) {
+    message_ = std::move(message);
+    return false;
+  }
+
+  std::string_view nextLine() {
+    const std::size_t eol = text_.find('\n', pos_);
+    if (eol == std::string_view::npos) {
+      std::string_view line = text_.substr(pos_);
+      pos_ = text_.size() + 1;  // consume the (absent) terminator
+      return line;
+    }
+    std::string_view line = text_.substr(pos_, eol - pos_);
+    pos_ = eol + 1;
+    return line;
+  }
+
+  static bool validMetricName(std::string_view name) {
+    if (name.empty()) return false;
+    const auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+             c == ':';
+    };
+    if (!head(name[0])) return false;
+    for (const char c : name.substr(1))
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    return true;
+  }
+
+  static bool validLabelName(std::string_view name) {
+    if (name.empty()) return false;
+    const auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    };
+    if (!head(name[0])) return false;
+    for (const char c : name.substr(1))
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    return true;
+  }
+
+  static bool validValue(std::string_view v) {
+    if (v == "+Inf" || v == "-Inf" || v == "NaN") return true;
+    if (v.empty()) return false;
+    double parsed = 0.0;
+    const auto res = std::from_chars(v.data(), v.data() + v.size(), parsed);
+    return res.ec == std::errc{} && res.ptr == v.data() + v.size();
+  }
+
+  // `line` arrives with the leading "# " already stripped.
+  bool checkComment(std::string_view line) {
+    if (line == "EOF") {
+      sawEof_ = true;
+      return true;
+    }
+    const auto word = [&line]() -> std::string_view {
+      const std::size_t sp = line.find(' ');
+      std::string_view w = line.substr(0, sp);
+      line.remove_prefix(sp == std::string_view::npos ? line.size() : sp + 1);
+      return w;
+    };
+    const std::string_view keyword = word();
+    if (keyword != "TYPE" && keyword != "HELP" && keyword != "UNIT")
+      return err("unknown comment line (only TYPE/HELP/UNIT/EOF allowed)");
+    const std::string_view name = word();
+    if (!validMetricName(name)) return err("bad metric family name");
+    if (keyword == "TYPE") {
+      const std::string_view type = line;
+      FamilyType parsed;
+      if (type == "gauge") parsed = FamilyType::Gauge;
+      else if (type == "counter") parsed = FamilyType::Counter;
+      else if (type == "summary") parsed = FamilyType::Summary;
+      else return err("unsupported family type '" + std::string(type) + "'");
+      if (!declared_.insert(std::string(name)).second)
+        return err("family '" + std::string(name) +
+                   "' declared twice (interleaved families)");
+      family_ = std::string(name);
+      type_ = parsed;
+      return true;
+    }
+    // HELP/UNIT must sit inside their family's block.
+    if (name != family_)
+      return err(std::string(keyword) + " for '" + std::string(name) +
+                 "' outside its family block");
+    return true;
+  }
+
+  bool checkLabels(std::string_view block) {
+    // block is the text between '{' and '}'.
+    std::unordered_set<std::string> seen;
+    std::size_t i = 0;
+    while (i < block.size()) {
+      const std::size_t eq = block.find('=', i);
+      if (eq == std::string_view::npos) return err("label without '='");
+      const std::string_view name = block.substr(i, eq - i);
+      if (!validLabelName(name)) return err("bad label name");
+      if (!seen.insert(std::string(name)).second)
+        return err("duplicate label '" + std::string(name) + "'");
+      if (name == "quantile") sawQuantileLabel_ = true;
+      i = eq + 1;
+      if (i >= block.size() || block[i] != '"')
+        return err("label value must be quoted");
+      ++i;
+      bool closed = false;
+      std::string value;
+      while (i < block.size()) {
+        const char c = block[i];
+        if (c == '\\') {
+          if (i + 1 >= block.size()) return err("dangling escape");
+          const char e = block[i + 1];
+          if (e != '\\' && e != '"' && e != 'n') return err("bad escape");
+          value.push_back(e == 'n' ? '\n' : e);
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(c);
+        ++i;
+      }
+      if (!closed) return err("unterminated label value");
+      if (sawQuantileLabel_ && name == "quantile") quantileValue_ = value;
+      if (i == block.size()) break;
+      if (block[i] != ',') return err("expected ',' between labels");
+      ++i;
+      if (i == block.size()) return err("trailing ',' in label set");
+    }
+    return true;
+  }
+
+  bool checkSample(std::string_view line) {
+    if (family_.empty()) return err("sample before any # TYPE");
+    std::size_t nameEnd = line.find_first_of("{ ");
+    if (nameEnd == std::string_view::npos)
+      return err("sample line without value");
+    const std::string_view name = line.substr(0, nameEnd);
+    if (!validMetricName(name)) return err("bad sample metric name");
+    sawQuantileLabel_ = false;
+    quantileValue_.clear();
+    std::size_t rest = nameEnd;
+    if (line[nameEnd] == '{') {
+      const std::size_t close = line.find('}', nameEnd);
+      if (close == std::string_view::npos) return err("unterminated '{'");
+      if (!checkLabels(line.substr(nameEnd + 1, close - nameEnd - 1)))
+        return false;
+      rest = close + 1;
+    }
+    if (rest >= line.size() || line[rest] != ' ')
+      return err("expected ' ' before the sample value");
+    const std::string_view value = line.substr(rest + 1);
+    if (value.find(' ') != std::string_view::npos)
+      return err("unexpected content after the sample value");
+    if (!validValue(value)) return err("bad sample value");
+
+    // Family-membership rules per declared type.
+    const auto suffixed = [&name, this](const char* suffix) {
+      return std::string(name) == family_ + suffix;
+    };
+    switch (type_) {
+      case FamilyType::Gauge:
+        if (name != family_)
+          return err("gauge sample name must equal the family name");
+        break;
+      case FamilyType::Counter:
+        if (!suffixed("_total"))
+          return err("counter sample must be <family>_total");
+        break;
+      case FamilyType::Summary:
+        if (name == family_) {
+          if (!sawQuantileLabel_)
+            return err("summary base sample needs a quantile label");
+          double q = 0.0;
+          const auto res = std::from_chars(
+              quantileValue_.data(),
+              quantileValue_.data() + quantileValue_.size(), q);
+          if (res.ec != std::errc{} ||
+              res.ptr != quantileValue_.data() + quantileValue_.size() ||
+              q < 0.0 || q > 1.0)
+            return err("quantile label must be a float in [0,1]");
+        } else if (!suffixed("_count") && !suffixed("_sum")) {
+          return err("summary sample must be the family, _count, or _sum");
+        }
+        break;
+    }
+    return true;
+  }
+
+  bool checkLine(std::string_view line) {
+    if (line.empty()) return err("empty line");
+    if (line[0] == '#') {
+      if (line.size() < 2 || line[1] != ' ')
+        return err("'#' must start a '# ' comment line");
+      return checkComment(line.substr(2));
+    }
+    return checkSample(line);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t lineNo_ = 0;
+  bool sawEof_ = false;
+  std::string family_;
+  FamilyType type_ = FamilyType::Gauge;
+  std::unordered_set<std::string> declared_;
+  bool sawQuantileLabel_ = false;
+  std::string quantileValue_;
+  std::string message_;
+};
+
+}  // namespace
+
+bool validateOpenMetrics(std::string_view text, std::string* error) {
+  return OpenMetricsValidator(text).run(error);
+}
+
+}  // namespace sps::metrics

@@ -1,0 +1,64 @@
+// OpenMetrics text exposition of run metrics — the scrape-friendly sibling
+// of the JSON export.
+//
+// openMetrics() renders a run (or a whole Runner batch) in the OpenMetrics
+// 1.0 text format, so sps_sim output can be ingested by Prometheus-family
+// tooling (`--metrics-out FILE`, then point any OpenMetrics scraper or
+// `promtool` at the file). Three kinds of families are emitted, each with
+// {run,policy,trace,label,seed} identifying labels per sample:
+//
+//   * gauges  — the RunStats scalars (utilization, span, mean slowdown, …);
+//   * counters — every non-zero obs counter (name "sps_" + dotted counter
+//     name with separators folded to '_', samples suffixed "_total"), plus
+//     the Table-I suspension breakdown with a `category` label;
+//   * summaries — slowdown and wait-time quantiles computed through
+//     util::QuantileSketch, with the standard `quantile` label and
+//     `_count`/`_sum` samples.
+//
+// validateOpenMetrics() is the format gate: a strict line-level checker in
+// the spirit of metrics::validateJson, enforcing the exposition grammar
+// (TYPE-before-samples, no family interleaving, name/label syntax, the
+// `_total` suffix rule, terminal `# EOF`). Tests run every emitted document
+// through it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/collector.hpp"
+
+namespace sps::metrics {
+
+/// One run in an exposition: the stats plus the batch-level identity the
+/// RunStats record itself does not carry.
+struct OpenMetricsEntry {
+  const RunStats* stats = nullptr;
+  std::size_t run = 0;  ///< batch index; becomes the `run` label
+  std::string label;    ///< display label; empty = stats->policyName
+  std::uint64_t seed = 0;
+  double wallSeconds = 0.0;  ///< 0 = wall time unknown; gauge omitted
+};
+
+/// Render a batch as one OpenMetrics document (terminated by `# EOF`).
+void writeOpenMetrics(std::ostream& os,
+                      const std::vector<OpenMetricsEntry>& entries);
+[[nodiscard]] std::string openMetrics(
+    const std::vector<OpenMetricsEntry>& entries);
+
+/// Single-run convenience: one entry, run index 0.
+[[nodiscard]] std::string openMetrics(const RunStats& stats);
+
+/// Strict OpenMetrics 1.0 text-format syntax check over a complete
+/// document. Like validateJson: no external dependency, `error` (when
+/// non-null) receives a message with the 1-based line of the first problem.
+/// Checks the line grammar (metric/label/value syntax, escaping), the
+/// family structure (TYPE once per family, HELP/samples within their
+/// family's block, counter samples end in `_total`, summary samples are
+/// base+quantile / `_count` / `_sum`), and the terminal `# EOF` line.
+[[nodiscard]] bool validateOpenMetrics(std::string_view text,
+                                       std::string* error = nullptr);
+
+}  // namespace sps::metrics

@@ -35,6 +35,9 @@ const char* counterName(Counter counter) {
     case Counter::Preemptions: return "policy.preemptions";
     case Counter::CheckTransitionAudits: return "check.transitionAudits";
     case Counter::CheckEpochAudits: return "check.epochAudits";
+    case Counter::TimelineSamples: return "obs.timeline.samples";
+    case Counter::TimelineDecimations: return "obs.timeline.decimations";
+    case Counter::RunnerHookExceptions: return "runner.hookExceptions";
     case Counter::kCount: break;
   }
   return "?";

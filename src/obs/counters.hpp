@@ -60,6 +60,11 @@ enum class Counter : std::uint8_t {
   // --- invariant oracle (check/) ------------------------------------------
   CheckTransitionAudits,  ///< state transitions audited by sps::check
   CheckEpochAudits,       ///< sampled epoch audits (guarantee poll + ledger)
+  // --- telemetry (obs/timeline) -------------------------------------------
+  TimelineSamples,      ///< time-series points recorded by TimelineRecorder
+  TimelineDecimations,  ///< 2x decimations after hitting the sample cap
+  // --- experiment engine (core/) ------------------------------------------
+  RunnerHookExceptions,  ///< RunCompleteHook invocations that threw
   kCount,
 };
 

@@ -126,6 +126,7 @@ void Simulator::handleArrival(JobId id) {
   x.remainingWork = job(id).runtime;
   x.waitSince = now_;
   addTo(queued_, id);
+  queuedWork_ += queuedWorkOf(id);
   notifyStateChange(id, JobState::NotArrived, JobState::Queued);
   policy_.onJobArrival(*this, id);
 }
@@ -193,6 +194,7 @@ void Simulator::startJob(JobId id) {
                             << machine_.freeCount());
   x.procs = machine_.allocate(want, now_);
   removeFrom(queued_, id);
+  queuedWork_ -= queuedWorkOf(id);
   beginSegment(id);
 }
 
@@ -206,6 +208,7 @@ void Simulator::startJobAvoiding(JobId id, const ProcSet& avoid) {
                                        "job; use resumeJob");
   x.procs = machine_.allocateAvoiding(job(id).procs, avoid, now_);
   removeFrom(queued_, id);
+  queuedWork_ -= queuedWorkOf(id);
   beginSegment(id);
 }
 
@@ -228,6 +231,7 @@ void Simulator::startJobPreferring(JobId id, const ProcSet& softAvoid,
                                         now_);
   SPS_CHECK(!x.procs.intersects(hardAvoid));
   removeFrom(queued_, id);
+  queuedWork_ -= queuedWorkOf(id);
   beginSegment(id);
 }
 
@@ -410,6 +414,11 @@ void Simulator::auditState() const {
   SPS_CHECK(nQueued == queued_.size());
   SPS_CHECK(nRunning == running_.size());
   SPS_CHECK(nSusp == suspended_.size());
+  double queuedWork = 0.0;
+  for (JobId id : queued_) queuedWork += queuedWorkOf(id);
+  SPS_CHECK_MSG(queuedWork == queuedWork_,
+                "queued-work aggregate drifted: recomputed "
+                    << queuedWork << " vs maintained " << queuedWork_);
 }
 
 }  // namespace sps::sim

@@ -183,6 +183,14 @@ class Simulator {
     return suspended_;
   }
 
+  /// Sum of procs x estimate over the queued (never-started) jobs — the
+  /// demand the scheduler has accepted but not yet placed. Maintained as two
+  /// adds per job lifetime so samplers (obs::TimelineRecorder) read it O(1)
+  /// instead of walking the queue.
+  [[nodiscard]] double queuedProcEstimateSeconds() const {
+    return queuedWork_;
+  }
+
   // --- policy actions ----------------------------------------------------
   /// Start a queued job that has never been suspended, on the lowest-
   /// numbered free processors. Requires job.procs <= freeCount().
@@ -277,6 +285,10 @@ class Simulator {
   void notifyStateChange(JobId id, JobState from, JobState to);
   void addTo(std::vector<JobId>& list, JobId id);
   void removeFrom(std::vector<JobId>& list, JobId id);
+  [[nodiscard]] double queuedWorkOf(JobId id) const {
+    const workload::Job& j = job(id);
+    return static_cast<double>(j.procs) * static_cast<double>(j.estimate);
+  }
 
   const workload::Trace& trace_;
   SchedulingPolicy& policy_;
@@ -285,6 +297,7 @@ class Simulator {
   EventQueue events_;
   std::vector<JobExec> exec_;
   std::vector<JobId> queued_;
+  double queuedWork_ = 0.0;  ///< procs x estimate summed over queued_
   std::vector<JobId> running_;
   std::vector<JobId> suspended_;
   /// Position of each job in whichever of the three lists holds it (a job

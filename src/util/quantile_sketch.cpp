@@ -1,0 +1,159 @@
+#include "util/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sps::util {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// k1 scale function: maps cumulative fraction q to "k units". A centroid
+/// may absorb weight as long as it spans at most one k unit, which bounds
+/// centroid width to ~ q(1-q) — fine near the tails, coarse in the middle.
+double kScale(double q, double compression) {
+  q = std::clamp(q, 0.0, 1.0);
+  return static_cast<double>(compression) / (2.0 * kPi) *
+         std::asin(2.0 * q - 1.0);
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(std::size_t compression)
+    : compression_(std::max<std::size_t>(compression, 20)) {
+  centroids_.reserve(compression_ + 8);
+}
+
+void QuantileSketch::add(double x, double weight) {
+  SPS_CHECK_MSG(std::isfinite(x), "QuantileSketch::add of non-finite value");
+  SPS_CHECK_MSG(weight > 0.0, "QuantileSketch::add weight=" << weight);
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  weight_ += weight;
+  sum_ += x * weight;
+  buffer_.push_back({x, weight});
+  // Compact once the buffer rivals the centroid list: amortizes the sort
+  // while keeping peak memory O(compression).
+  if (buffer_.size() >= 8 * compression_) compress();
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  other.compress();
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  weight_ += other.weight_;
+  sum_ += other.sum_;
+  buffer_.insert(buffer_.end(), other.centroids_.begin(),
+                 other.centroids_.end());
+  compress();
+}
+
+void QuantileSketch::compress() const {
+  if (buffer_.empty()) return;
+  buffer_.insert(buffer_.end(), centroids_.begin(), centroids_.end());
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean;
+            });
+  centroids_.clear();
+  double total = 0.0;
+  for (const Centroid& c : buffer_) total += c.weight;
+  double before = 0.0;  // weight strictly left of the centroid being grown
+  Centroid cur = buffer_.front();
+  for (std::size_t i = 1; i < buffer_.size(); ++i) {
+    const Centroid& next = buffer_[i];
+    const double qLeft = before / total;
+    const double qRight = (before + cur.weight + next.weight) / total;
+    if (kScale(qRight, static_cast<double>(compression_)) -
+            kScale(qLeft, static_cast<double>(compression_)) <=
+        1.0) {
+      // Absorb: weighted-mean update keeps the centroid at the weight
+      // center of everything it swallowed.
+      const double w = cur.weight + next.weight;
+      cur.mean += (next.mean - cur.mean) * next.weight / w;
+      cur.weight = w;
+    } else {
+      centroids_.push_back(cur);
+      before += cur.weight;
+      cur = next;
+    }
+  }
+  centroids_.push_back(cur);
+  buffer_.clear();
+}
+
+double QuantileSketch::mean() const {
+  SPS_CHECK_MSG(count_ > 0, "mean() of empty sketch");
+  return sum_ / weight_;
+}
+
+double QuantileSketch::min() const {
+  SPS_CHECK_MSG(count_ > 0, "min() of empty sketch");
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  SPS_CHECK_MSG(count_ > 0, "max() of empty sketch");
+  return max_;
+}
+
+std::size_t QuantileSketch::centroidCount() const {
+  compress();
+  return centroids_.size();
+}
+
+double QuantileSketch::quantile(double q) const {
+  SPS_CHECK_MSG(count_ > 0, "quantile() of empty sketch");
+  SPS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q=" << q);
+  compress();
+  if (centroids_.size() == 1) {
+    // Single centroid: interpolate across [min, max] by weight fraction.
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    return min_ + (max_ - min_) * q;
+  }
+  const double target = q * weight_;
+  // Piecewise-linear CDF through the centroid weight-centers, pinned to the
+  // exact min at cumulative weight 0 and exact max at full weight.
+  double prevPos = 0.0;
+  double prevVal = min_;
+  double cum = 0.0;
+  for (const Centroid& c : centroids_) {
+    const double pos = cum + c.weight / 2.0;
+    if (target <= pos) {
+      const double span = pos - prevPos;
+      if (span <= 0.0) return c.mean;
+      const double frac = (target - prevPos) / span;
+      return prevVal + (c.mean - prevVal) * frac;
+    }
+    prevPos = pos;
+    prevVal = c.mean;
+    cum += c.weight;
+  }
+  const double span = weight_ - prevPos;
+  if (span <= 0.0) return max_;
+  const double frac = (target - prevPos) / span;
+  return std::min(prevVal + (max_ - prevVal) * frac, max_);
+}
+
+double QuantileSketch::percentile(double p) const {
+  SPS_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p=" << p);
+  return quantile(p / 100.0);
+}
+
+}  // namespace sps::util

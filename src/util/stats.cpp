@@ -60,9 +60,10 @@ void Accumulator::merge(const Accumulator& other) {
 }
 
 void Samples::ensureSorted() const {
-  if (!sorted_) {
-    std::sort(values_.begin(), values_.end());
-    sorted_ = true;
+  if (!sortedValid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
   }
 }
 
@@ -76,25 +77,25 @@ double Samples::mean() const {
 double Samples::min() const {
   SPS_CHECK_MSG(!values_.empty(), "min() of empty samples");
   ensureSorted();
-  return values_.front();
+  return sorted_.front();
 }
 
 double Samples::max() const {
   SPS_CHECK_MSG(!values_.empty(), "max() of empty samples");
   ensureSorted();
-  return values_.back();
+  return sorted_.back();
 }
 
 double Samples::percentile(double p) const {
   SPS_CHECK_MSG(!values_.empty(), "percentile() of empty samples");
   SPS_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p=" << p);
   ensureSorted();
-  if (values_.size() == 1) return values_.front();
-  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
 }  // namespace sps

@@ -42,7 +42,7 @@ class Accumulator {
 /// (O(10^4–10^5)) that keeping every sample is cheap.
 class Samples {
  public:
-  void add(double x) { values_.push_back(x); sorted_ = false; }
+  void add(double x) { values_.push_back(x); sortedValid_ = false; }
   void reserve(std::size_t n) { values_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const { return values_.size(); }
@@ -54,11 +54,15 @@ class Samples {
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
+  /// Samples in submission order, always — percentile/min/max queries work
+  /// on a private sorted copy and never reorder this vector, so exports that
+  /// walk values() are deterministic regardless of query history.
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
  private:
-  mutable std::vector<double> values_;
-  mutable bool sorted_ = false;
+  std::vector<double> values_;  ///< submission order, never reordered
+  mutable std::vector<double> sorted_;  ///< lazily rebuilt sorted copy
+  mutable bool sortedValid_ = false;
   void ensureSorted() const;
 };
 

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/progress.hpp"
 #include "core/replicate.hpp"
 #include "core/runner.hpp"
 #include "helpers.hpp"
@@ -241,6 +245,113 @@ TEST(Runner, SharedTraceSinkAcrossWorkersIsThreadCountInvariant) {
   if (!obs::kTraceCompiledIn) {
     EXPECT_EQ(sequential.count(), 0u);
   }
+}
+
+TEST(Runner, ThrowingHookIsContainedAndCounted) {
+  const auto trace =
+      shareTrace(workload::generateTrace(workload::sdscConfig(120, 3)));
+  for (std::size_t threads : {1u, 4u}) {
+    Runner runner({.threads = threads});
+    runner.onRunComplete(
+        [](const RunResult&) { throw std::runtime_error("hook bug"); });
+    const auto results = runner.runAll(smallBatch(trace));
+    // The batch itself must succeed: every result present and populated.
+    ASSERT_EQ(results.size(), 5u) << threads << " threads";
+    for (const RunResult& r : results)
+      EXPECT_FALSE(r.stats.jobs.empty()) << threads << " threads";
+    EXPECT_EQ(runner.engineCounters().value(obs::Counter::RunnerHookExceptions),
+              results.size())
+        << threads << " threads";
+  }
+}
+
+TEST(Runner, ProgressFinalSnapshotIsThreadCountInvariant) {
+  const auto trace =
+      shareTrace(workload::generateTrace(workload::sdscConfig(150, 21)));
+  std::uint64_t wantEvents = 0;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ProgressBoard board;
+    Runner runner({.threads = threads});
+    runner.attachProgress(&board);
+    const auto results = runner.runAll(smallBatch(trace));
+    runner.attachProgress(nullptr);
+
+    std::uint64_t events = 0;
+    for (const RunResult& r : results) events += r.stats.eventsProcessed;
+    if (wantEvents == 0) wantEvents = events;
+
+    const ProgressSnapshot snap = board.snapshot();
+    EXPECT_EQ(snap.runsTotal, results.size()) << threads << " threads";
+    EXPECT_EQ(snap.runsDone, results.size()) << threads << " threads";
+    EXPECT_EQ(snap.runsActive, 0u) << threads << " threads";
+    EXPECT_TRUE(snap.activeSimFractions.empty()) << threads << " threads";
+    EXPECT_DOUBLE_EQ(snap.fractionDone, 1.0) << threads << " threads";
+    // Final event counts are delta-corrected on finish, so the board total
+    // equals the exact per-run sum — at every thread count.
+    EXPECT_EQ(snap.events, wantEvents) << threads << " threads";
+  }
+}
+
+TEST(Runner, ProgressBoardAccumulatesAcrossBatches) {
+  const auto trace = shareTrace(test::makeTrace(8, {{0, 50, 2}, {10, 20, 4}}));
+  ProgressBoard board;
+  Runner runner({.threads = 2});
+  runner.attachProgress(&board);
+  RunRequest request;
+  request.trace = trace;
+  request.spec.kind = PolicyKind::Fcfs;
+  (void)runner.runOne(request);
+  (void)runner.runAll({request, request});
+  const ProgressSnapshot snap = board.snapshot();
+  EXPECT_EQ(snap.runsTotal, 3u);
+  EXPECT_EQ(snap.runsDone, 3u);
+}
+
+TEST(Runner, ProgressTicketReleasesSlotOnAbandon) {
+  // The exception path: a ticket destroyed without finishRun must free its
+  // slot without counting the run as done.
+  ProgressBoard board;
+  board.beginBatch(2);
+  {
+    ProgressBoard::Ticket ticket = board.startRun(100);
+    ticket.onSimProgress(50, 1000);
+    const ProgressSnapshot mid = board.snapshot();
+    EXPECT_EQ(mid.runsActive, 1u);
+    ASSERT_EQ(mid.activeSimFractions.size(), 1u);
+    EXPECT_DOUBLE_EQ(mid.activeSimFractions[0], 0.5);
+    EXPECT_EQ(mid.events, 1000u);
+  }
+  const ProgressSnapshot snap = board.snapshot();
+  EXPECT_EQ(snap.runsActive, 0u);
+  EXPECT_EQ(snap.runsDone, 0u);
+
+  // The freed slot is reusable and finishRun folds the exact event count.
+  ProgressBoard::Ticket ticket = board.startRun(100);
+  ticket.onSimProgress(100, 500);
+  board.finishRun(ticket, 750);
+  const ProgressSnapshot done = board.snapshot();
+  EXPECT_EQ(done.runsDone, 1u);
+  EXPECT_EQ(done.events, 1000u + 750u);
+}
+
+TEST(Runner, ProgressReporterPaintsFinalFrame) {
+  ProgressBoard board;
+  board.beginBatch(1);
+  {
+    ProgressBoard::Ticket ticket = board.startRun(10);
+    board.finishRun(ticket, 42);
+  }
+  std::ostringstream os;
+  {
+    ProgressReporter reporter(board, os,
+                              std::chrono::milliseconds(5));
+    reporter.stop();
+    reporter.stop();  // idempotent
+  }
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1/1"), std::string::npos) << out;
+  EXPECT_NE(out.find('\r'), std::string::npos) << out;
+  EXPECT_TRUE(out.ends_with('\n')) << out;
 }
 
 }  // namespace

@@ -259,6 +259,25 @@ TEST(Samples, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
 }
 
+TEST(Samples, ValuesKeepSubmissionOrderAcrossQueries) {
+  // Regression: percentile/min/max used to sort the exposed vector in
+  // place, so values() silently flipped from submission order to sorted
+  // order after the first statistics query. The order is now pinned.
+  Samples s;
+  const std::vector<double> submitted = {5.0, 1.0, 9.0, 3.0, 7.0};
+  for (const double v : submitted) s.add(v);
+  EXPECT_EQ(s.values(), submitted);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.values(), submitted) << "queries must not reorder values()";
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+  std::vector<double> extended = submitted;
+  extended.push_back(2.0);
+  EXPECT_EQ(s.values(), extended);
+}
+
 // --- table -------------------------------------------------------------------
 
 TEST(Table, AsciiAlignsColumns) {

@@ -15,6 +15,7 @@
 // NOTE: --trace now names the structured-trace OUTPUT file (obs layer); the
 // SWF workload input moved to --swf.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -25,10 +26,12 @@
 #include "core/cli_config.hpp"
 #include "core/experiment.hpp"
 #include "core/figures.hpp"
+#include "core/progress.hpp"
 #include "core/replicate.hpp"
 #include "core/runner.hpp"
 #include "core/simulation.hpp"
 #include "metrics/json.hpp"
+#include "metrics/openmetrics.hpp"
 #include "metrics/report.hpp"
 #include "obs/trace.hpp"
 #include "sched/overhead.hpp"
@@ -74,7 +77,11 @@ struct CliOptions {
   bool verbose = false;
   bool check = false;  ///< arm the sps::check invariant oracle
   std::size_t checkStride = 16;
+  bool timeline = false;  ///< sample sim-clock series into RunStats/trace
+  Time timelineStride = 0;  ///< 0 = auto (horizon-scaled default stride)
+  bool progress = false;  ///< live batch progress line on stderr
   // Output
+  std::string metricsOut;  ///< OpenMetrics exposition file
   bool json = false;
   bool csv = false;
   bool worst = false;
@@ -119,6 +126,13 @@ void addObsFlags(core::CliConfig& cli, CliOptions& opt) {
            "run with an InvariantError");
   cli.option("--check-stride", &opt.checkStride, "N",
              "run the sampled audits every N events (default: 16)");
+  cli.flag("--timeline", &opt.timeline,
+           "sample sim-clock series (queue depth, utilization, backlog) "
+           "into the metrics output; with --trace also emits Perfetto "
+           "counter tracks");
+  cli.option("--timeline-stride", &opt.timelineStride, "SEC",
+             "sim-seconds between timeline samples (default: auto — 60 "
+             "doubled until the trace horizon fits the sample cap)");
 }
 
 void addOutputFlags(core::CliConfig& cli, CliOptions& opt) {
@@ -126,6 +140,8 @@ void addOutputFlags(core::CliConfig& cli, CliOptions& opt) {
   cli.flag("--json", &opt.json, "machine-readable RunResult JSON on stdout");
   cli.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
   cli.flag("--summary-only", &opt.summaryOnly, "one-line summary, no grids");
+  cli.option("--metrics-out", &opt.metricsOut, "FILE",
+             "write an OpenMetrics text exposition of the run(s)");
 }
 
 void addBatchFlags(core::CliConfig& cli, CliOptions& opt) {
@@ -137,6 +153,8 @@ void addBatchFlags(core::CliConfig& cli, CliOptions& opt) {
              "worker threads (0 = all hardware threads)");
   cli.flag("--overhead", &opt.overhead,
            "2 MB/s disk-swap suspension cost (Section V-A)");
+  cli.flag("--progress", &opt.progress,
+           "live batch progress line on stderr (runs done, events/s, ETA)");
 }
 
 core::CliCommands makeCli(CliOptions& opt) {
@@ -184,6 +202,8 @@ core::CliCommands makeCli(CliOptions& opt) {
   addObsFlags(sweep, opt);
   sweep.section("Output");
   sweep.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
+  sweep.option("--metrics-out", &opt.metricsOut, "FILE",
+               "write an OpenMetrics text exposition of every run");
 
   core::CliConfig& replicate =
       cli.command("replicate", "scheme set over independently-seeded runs");
@@ -313,6 +333,36 @@ void printTable(const Table& table, bool csv) {
   else table.printAscii(std::cout);
 }
 
+/// Progress wiring for the batch commands: a ProgressBoard attached to the
+/// runner plus a stderr reporter, built only under --progress. finish() must
+/// run before any result tables print so the final frame's newline lands
+/// ahead of them.
+struct ProgressScope {
+  std::optional<core::ProgressBoard> board;
+  std::optional<core::ProgressReporter> reporter;
+
+  void start(core::Runner& runner, bool enabled) {
+    if (!enabled) return;
+    board.emplace();
+    runner.attachProgress(&*board);
+    reporter.emplace(*board, std::cerr);
+  }
+  void finish(core::Runner& runner) {
+    if (!board) return;
+    reporter.reset();  // paints the final frame and ends the line
+    runner.attachProgress(nullptr);
+  }
+};
+
+void writeMetricsFile(const std::string& path,
+                      const std::vector<core::RunResult>& results) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open --metrics-out file: " + path);
+  core::writeRunResultsOpenMetrics(os, results);
+  if (!os) fail("failed writing --metrics-out file: " + path);
+  std::cerr << "wrote OpenMetrics exposition to " << path << "\n";
+}
+
 void printCountersTable(const metrics::RunStats& stats, bool csv) {
   std::cout << "\nObservability counters (" << stats.policyName << "):\n";
   Table t({"counter", "value"});
@@ -364,6 +414,8 @@ int runSingle(const CliOptions& opt, core::Runner& runner,
   request.seed = opt.seed;
   const core::RunResult result = runner.runOne(request);
 
+  if (!opt.metricsOut.empty()) writeMetricsFile(opt.metricsOut, {result});
+
   if (opt.json) {
     metrics::JsonOptions jsonOptions;
     jsonOptions.includeJobs = !opt.summaryOnly;
@@ -401,12 +453,19 @@ int runCompare(const CliOptions& opt, core::Runner& runner,
     request.seed = opt.seed;
     batch.push_back(std::move(request));
   }
-  if (!opt.json)
+  // The per-run "finished" lines and the --progress repaint line would
+  // shred each other; progress replaces them.
+  if (!opt.json && !opt.progress)
     runner.onRunComplete([](const core::RunResult& r) {
       std::cerr << "finished " << r.label << " ("
                 << formatFixed(r.wallSeconds, 2) << "s)\n";
     });
+  ProgressScope progress;
+  progress.start(runner, opt.progress);
   const std::vector<core::RunResult> results = runner.runAll(std::move(batch));
+  progress.finish(runner);
+
+  if (!opt.metricsOut.empty()) writeMetricsFile(opt.metricsOut, results);
 
   if (opt.json) {
     metrics::JsonOptions jsonOptions;
@@ -454,9 +513,33 @@ int runSweep(const CliOptions& opt, core::Runner& runner,
   const std::vector<double> factors = parseFactors(opt.factors);
   const std::vector<core::PolicySpec> specs =
       buildSchemeSet(opt, runner, trace, options);
+  ProgressScope progress;
+  progress.start(runner, opt.progress);
   const std::vector<core::LoadPoint> points =
       core::loadSweep(runner, trace, specs, factors,
                       /*calibrateTssFromBase=*/true, options);
+  progress.finish(runner);
+
+  if (!opt.metricsOut.empty()) {
+    std::ofstream os(opt.metricsOut);
+    if (!os) fail("cannot open --metrics-out file: " + opt.metricsOut);
+    std::vector<metrics::OpenMetricsEntry> entries;
+    std::size_t run = 0;
+    for (const core::LoadPoint& point : points)
+      for (const metrics::RunStats& stats : point.runs) {
+        metrics::OpenMetricsEntry entry;
+        entry.stats = &stats;
+        entry.run = run++;
+        entry.label =
+            stats.policyName + " @x" + formatFixed(point.loadFactor, 2);
+        entry.seed = opt.seed;
+        entries.push_back(std::move(entry));
+      }
+    metrics::writeOpenMetrics(os, entries);
+    if (!os) fail("failed writing --metrics-out file: " + opt.metricsOut);
+    std::cerr << "wrote OpenMetrics exposition to " << opt.metricsOut << "\n";
+  }
+
   for (const core::LoadPoint& point : points) {
     std::cout << "\n=== load factor " << formatFixed(point.loadFactor, 2)
               << " ===\n";
@@ -487,8 +570,11 @@ int runReplicate(const CliOptions& opt, core::Runner& runner,
   const std::vector<core::PolicySpec> specs =
       buildSchemeSet(opt, calibration, base, options);
 
+  ProgressScope progress;
+  progress.start(runner, opt.progress);
   const std::vector<core::ReplicationResult> results =
       core::replicate(runner, makeTrace, seeds, specs, options);
+  progress.finish(runner);
   std::cout << "Replication over " << seeds.size() << " seeds ("
             << base.name << " family):\n";
   printTable(core::replicationTable(results), opt.csv);
@@ -524,6 +610,8 @@ int main(int argc, char** argv) {
     if (opt.check)
       options.check = check::CheckConfig::all(
           static_cast<std::uint32_t>(opt.checkStride));
+    options.timeline.enabled = opt.timeline;
+    options.timeline.stride = opt.timelineStride;
     std::optional<sched::DiskSwapOverhead> overhead;
 
     if (command == "replicate") {
