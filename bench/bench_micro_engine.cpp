@@ -29,13 +29,14 @@ namespace {
 using namespace sps;
 using sched::kernel::KernelMode;
 
+template <sim::QueueKind Kind>
 void BM_EventQueuePushPop(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
   std::vector<Time> times(n);
   for (auto& t : times) t = rng.uniformInt(0, 1000000);
   for (auto _ : state) {
-    sim::EventQueue q;
+    sim::EventQueue q(Kind);
     for (std::size_t i = 0; i < n; ++i)
       q.push(times[i], sim::EventType::Timer, i);
     while (!q.empty()) benchmark::DoNotOptimize(q.pop());
@@ -43,7 +44,14 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_EventQueuePushPop<sim::QueueKind::BinaryHeap>)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+BENCHMARK(BM_EventQueuePushPop<sim::QueueKind::Calendar>)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
 
 template <core::PolicyKind Kind>
 void BM_Simulation(benchmark::State& state) {
@@ -65,15 +73,6 @@ BENCHMARK(BM_Simulation<core::PolicyKind::SelectiveSuspension>)->Arg(2000);
 BENCHMARK(BM_Simulation<core::PolicyKind::ImmediateService>)->Arg(2000);
 
 // --- scheduling-kernel sweep -----------------------------------------------
-
-core::PolicySpec withMode(core::PolicySpec spec, KernelMode mode) {
-  spec.conservative.kernelMode = mode;
-  spec.easy.kernelMode = mode;
-  spec.depth.kernelMode = mode;
-  spec.ss.kernelMode = mode;
-  spec.is.kernelMode = mode;
-  return spec;
-}
 
 struct Lane {
   double wallSeconds = 0.0;
@@ -151,6 +150,10 @@ void runKernelSweep() {
   spec.kind = core::PolicyKind::SelectiveSuspension;
   policies.emplace_back("ss", spec);
   spec = {};
+  spec.kind = core::PolicyKind::SelectiveSuspension;
+  spec.ss.tssOnlineMultiplier = 1.5;
+  policies.emplace_back("tss-online", spec);
+  spec = {};
   spec.kind = core::PolicyKind::ImmediateService;
   policies.emplace_back("is", spec);
 
@@ -179,18 +182,26 @@ void runKernelSweep() {
   // cost of --timeline; the acceptance bound is <= 5%.
   core::SimulationOptions sampled;
   sampled.timeline.enabled = true;
+  // The rebuild lane is the pre-redesign configuration end to end: reference
+  // kernel structure AND the binary-heap event queue. Incremental lanes run
+  // the calendar queue (the default), so the speedup column prices the full
+  // hot-path overhaul, with golden equivalence pinning both axes at once.
+  core::SimulationOptions rebuildOptions;
+  rebuildOptions.queueKind = sim::QueueKind::BinaryHeap;
 
   for (const auto& [label, policySpec] : policies) {
     const Lane reb =
-        timeLane(trace, withMode(policySpec, KernelMode::Rebuild), repeats);
-    const Lane inc =
-        timeLane(trace, withMode(policySpec, KernelMode::Incremental), repeats);
-    const Lane chk = timeLane(trace, withMode(policySpec,
-                                              KernelMode::Incremental),
-                              repeats, checked);
-    const Lane tl = timeLane(trace, withMode(policySpec,
-                                             KernelMode::Incremental),
-                             repeats, sampled);
+        timeLane(trace, sched::withKernelMode(policySpec, KernelMode::Rebuild),
+                 repeats, rebuildOptions);
+    const Lane inc = timeLane(
+        trace, sched::withKernelMode(policySpec, KernelMode::Incremental),
+        repeats);
+    const Lane chk = timeLane(
+        trace, sched::withKernelMode(policySpec, KernelMode::Incremental),
+        repeats, checked);
+    const Lane tl = timeLane(
+        trace, sched::withKernelMode(policySpec, KernelMode::Incremental),
+        repeats, sampled);
     const double speedup = inc.eventsPerSec / reb.eventsPerSec;
     const double checkOverhead = inc.eventsPerSec / chk.eventsPerSec;
     const double timelineOverhead = inc.eventsPerSec / tl.eventsPerSec;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "check/invariants.hpp"
@@ -23,36 +24,12 @@ namespace {
 
 using sched::kernel::KernelMode;
 
-core::PolicySpec withMode(core::PolicySpec spec, KernelMode mode) {
-  spec.conservative.kernelMode = mode;
-  spec.easy.kernelMode = mode;
-  spec.depth.kernelMode = mode;
-  spec.ss.kernelMode = mode;
-  spec.is.kernelMode = mode;
-  return spec;
-}
-
-/// "name" / "name:param" split.
-std::pair<std::string, std::string> splitToken(const std::string& token) {
-  const std::size_t colon = token.find(':');
-  if (colon == std::string::npos) return {token, ""};
-  return {token.substr(0, colon), token.substr(colon + 1)};
-}
-
-double parseFactor(const std::string& token, const std::string& param) {
-  std::istringstream is(param);
-  double value = 0.0;
-  if (!(is >> value) || !is.eof() || value <= 0.0)
-    throw InputError("bad parameter in policy token '" + token + "'");
-  return value;
-}
-
 /// Resolve a case's spec, including the "tss:" bootstrap (limits from the
 /// trace's own NS run — deterministic and kernel-mode independent, so both
 /// lanes of a diff see identical limits).
 core::PolicySpec resolveSpec(const FuzzCase& c) {
   core::PolicySpec spec = policyFromToken(c.policyToken);
-  if (splitToken(c.policyToken).first == "tss")
+  if (c.policyToken.rfind("tss:", 0) == 0)
     spec.ss.tssLimits = core::bootstrapTssLimits(c.trace);
   return spec;
 }
@@ -216,49 +193,16 @@ void stampEstimates(Rng& rng, workload::Trace& trace) {
 }  // namespace
 
 core::PolicySpec policyFromToken(const std::string& token) {
-  const auto [name, param] = splitToken(token);
-  core::PolicySpec spec;
-  spec.label = token;
-  if (name == "conservative") {
-    spec.kind = core::PolicyKind::Conservative;
-  } else if (name == "easy") {
-    spec.kind = core::PolicyKind::Easy;
-  } else if (name == "sjf") {
-    spec.kind = core::PolicyKind::Easy;
-    spec.easy.order = sched::QueueOrder::ShortestFirst;
-  } else if (name == "fcfs") {
-    spec.kind = core::PolicyKind::Fcfs;
-  } else if (name == "gang") {
-    spec.kind = core::PolicyKind::Gang;
-  } else if (name == "is") {
-    spec.kind = core::PolicyKind::ImmediateService;
-  } else if (name == "depth") {
-    spec.kind = core::PolicyKind::DepthBackfill;
-    if (param == "inf")
-      spec.depth.depth = sched::kUnlimitedDepth;
-    else
-      spec.depth.depth =
-          static_cast<std::size_t>(parseFactor(token, param));
-  } else if (name == "ss") {
-    spec.kind = core::PolicyKind::SelectiveSuspension;
-    spec.ss.suspensionFactor = parseFactor(token, param);
-  } else if (name == "tss") {
-    // Limits are bootstrapped from the trace by the harness.
-    spec.kind = core::PolicyKind::SelectiveSuspension;
-    spec.ss.suspensionFactor = parseFactor(token, param);
-  } else if (name == "tss-online") {
-    spec.kind = core::PolicyKind::SelectiveSuspension;
-    spec.ss.tssOnlineMultiplier = parseFactor(token, param);
-  } else {
-    throw InputError("unknown policy token: '" + token + "'");
+  // The shared registry parses; harness callers expect InputError.
+  try {
+    return sched::specFromToken(token);
+  } catch (const std::invalid_argument& e) {
+    throw InputError(e.what());
   }
-  return spec;
 }
 
 std::vector<std::string> fuzzPolicyTokens() {
-  return {"fcfs",   "conservative", "easy",  "sjf",
-          "depth:2", "depth:inf",   "ss:2",  "ss:1.5",
-          "tss:2",   "tss-online:2", "is",   "gang"};
+  return sched::knownPolicyTokens();
 }
 
 workload::Trace makeFuzzTrace(std::uint64_t seed) {
@@ -291,10 +235,16 @@ FuzzCase makeFuzzCase(std::uint64_t seed, std::string token) {
 
 RunRecord DiffHarness::runOnce(const FuzzCase& c, KernelMode mode,
                                std::string* violation) const {
-  const core::PolicySpec spec = withMode(resolveSpec(c), mode);
+  const core::PolicySpec spec = sched::withKernelMode(resolveSpec(c), mode);
   const auto policy = core::makePolicy(spec);
   std::optional<sched::DiskSwapOverhead> overhead;
   sim::Simulator::Config config;
+  // Cross the event-queue implementations with the kernel modes, so one
+  // diff pins both redesigned layers against their references: the rebuild
+  // lane runs the binary heap, the incremental lane the calendar queue.
+  config.queueKind = mode == KernelMode::Rebuild
+                         ? sim::QueueKind::BinaryHeap
+                         : sim::QueueKind::Calendar;
   if (c.overhead) {
     overhead.emplace(c.trace);
     config.overhead = &*overhead;

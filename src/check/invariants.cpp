@@ -258,9 +258,9 @@ void InvariantChecker::finalize(const sim::Simulator& simulator) {
     for (JobId id = 0; id < jobs; ++id) {
       const sim::JobExec& x = simulator.exec(id);
       const TransitionAudit::Tally& t = transitions_.tally(id);
-      SPS_CHECK_MSG(x.state == JobState::Finished,
+      SPS_CHECK_MSG(simulator.state(id) == JobState::Finished,
                     "conservation: exec state of job "
-                        << id << " is " << sim::jobStateName(x.state)
+                        << id << " is " << sim::jobStateName(simulator.state(id))
                         << " after the run");
       SPS_CHECK_MSG(x.suspendCount == t.suspensions,
                     "conservation: job " << id << " exec.suspendCount "

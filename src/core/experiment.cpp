@@ -160,24 +160,18 @@ std::vector<PolicySpec> tssSchemeSet(
 }
 
 std::vector<PolicySpec> classicSchemeSet() {
+  // Registry tokens, relabeled for the report tables. "ss:2" and "sjf"
+  // carry their parameters in the token itself; the rest are defaults.
   std::vector<PolicySpec> specs;
-  for (auto [kind, label] :
-       {std::pair{PolicyKind::Fcfs, "FCFS"},
-        std::pair{PolicyKind::Conservative, "Conservative"},
-        std::pair{PolicyKind::Easy, "EASY (NS)"},
-        std::pair{PolicyKind::SelectiveSuspension, "SS (SF=2)"},
-        std::pair{PolicyKind::ImmediateService, "IS"},
-        std::pair{PolicyKind::Gang, "Gang(4)"}}) {
-    PolicySpec spec;
-    spec.kind = kind;
+  for (auto [token, label] :
+       {std::pair{"fcfs", "FCFS"}, std::pair{"conservative", "Conservative"},
+        std::pair{"easy", "EASY (NS)"}, std::pair{"ss:2", "SS (SF=2)"},
+        std::pair{"is", "IS"}, std::pair{"gang", "Gang(4)"},
+        std::pair{"sjf", "SJF-BF"}}) {
+    PolicySpec spec = sched::specFromToken(token);
     spec.label = label;
     specs.push_back(std::move(spec));
   }
-  PolicySpec sjf;
-  sjf.kind = PolicyKind::Easy;
-  sjf.easy.order = sched::QueueOrder::ShortestFirst;
-  sjf.label = "SJF-BF";
-  specs.push_back(std::move(sjf));
   return specs;
 }
 

@@ -5,52 +5,10 @@
 #include "check/invariants.hpp"
 #include "core/progress.hpp"
 #include "obs/timeline.hpp"
-#include "sched/conservative.hpp"
-#include "sched/easy.hpp"
-#include "sched/fcfs.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
 
 namespace sps::core {
-
-const char* policyKindName(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::Fcfs: return "FCFS";
-    case PolicyKind::Conservative: return "Conservative";
-    case PolicyKind::Easy: return "EASY";
-    case PolicyKind::SelectiveSuspension: return "SelectiveSuspension";
-    case PolicyKind::ImmediateService: return "ImmediateService";
-    case PolicyKind::Gang: return "Gang";
-    case PolicyKind::DepthBackfill: return "DepthBackfill";
-  }
-  return "?";
-}
-
-std::unique_ptr<sim::SchedulingPolicy> makePolicy(const PolicySpec& spec) {
-  switch (spec.kind) {
-    case PolicyKind::Fcfs:
-      return std::make_unique<sched::FcfsScheduler>();
-    case PolicyKind::Conservative:
-      return std::make_unique<sched::ConservativeBackfill>(spec.conservative);
-    case PolicyKind::Easy:
-      return std::make_unique<sched::EasyBackfill>(spec.easy);
-    case PolicyKind::SelectiveSuspension:
-      return std::make_unique<sched::SelectiveSuspension>(spec.ss);
-    case PolicyKind::ImmediateService:
-      return std::make_unique<sched::ImmediateService>(spec.is);
-    case PolicyKind::Gang:
-      return std::make_unique<sched::GangScheduler>(spec.gang);
-    case PolicyKind::DepthBackfill:
-      return std::make_unique<sched::DepthBackfill>(spec.depth);
-  }
-  SPS_CHECK_MSG(false, "unknown policy kind");
-  return nullptr;  // unreachable
-}
-
-std::string policyLabel(const PolicySpec& spec) {
-  if (!spec.label.empty()) return spec.label;
-  return makePolicy(spec)->name();
-}
 
 metrics::RunStats runSimulation(const workload::Trace& trace,
                                 const PolicySpec& spec,
@@ -61,6 +19,7 @@ metrics::RunStats runSimulation(const workload::Trace& trace,
   obs::Recorder recorder(options.traceSink);
   sim::Simulator::Config config;
   config.overhead = options.overhead;
+  config.queueKind = options.queueKind;
   config.recorder = &recorder;
   sim::Simulator simulator(trace, *policy, config);
   std::optional<check::InvariantChecker> checker;

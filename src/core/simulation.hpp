@@ -17,12 +17,8 @@
 #include "metrics/collector.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace_sink.hpp"
-#include "sched/conservative.hpp"
-#include "sched/depth_backfill.hpp"
-#include "sched/easy.hpp"
-#include "sched/gang.hpp"
-#include "sched/immediate_service.hpp"
-#include "sched/selective_suspension.hpp"
+#include "sched/policy_factory.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/policy.hpp"
 #include "workload/job.hpp"
 
@@ -30,33 +26,22 @@ namespace sps::core {
 
 class RunProgressListener;  // core/progress.hpp
 
-enum class PolicyKind {
-  Fcfs,
-  Conservative,
-  Easy,                 ///< the paper's "No Suspension (NS)" baseline
-  SelectiveSuspension,  ///< SS; TSS when spec.ss.tssLimits is set
-  ImmediateService,
-  Gang,                 ///< extension: Ousterhout-matrix time slicing
-  DepthBackfill,        ///< extension: K-deep reservation backfilling
-};
-
-[[nodiscard]] const char* policyKindName(PolicyKind kind);
-
-struct PolicySpec {
-  PolicyKind kind = PolicyKind::Easy;
-  sched::SsConfig ss{};      ///< used when kind == SelectiveSuspension
-  sched::IsConfig is{};      ///< used when kind == ImmediateService
-  sched::EasyConfig easy{};    ///< used when kind == Easy
-  sched::GangConfig gang{};    ///< used when kind == Gang
-  sched::DepthConfig depth{};  ///< used when kind == DepthBackfill
-  sched::ConservativeConfig conservative{};  ///< when kind == Conservative
-  /// Optional display label override (defaults to the policy's own name()).
-  std::string label;
-};
+// Policy descriptions and the factory live in sched/policy_factory.hpp —
+// the registry every front end (CLI, fuzzer, presets) now shares. The
+// core:: names remain the stable facade spelling.
+using PolicyKind = sched::PolicyKind;
+using PolicySpec = sched::PolicySpec;
+using sched::makePolicy;
+using sched::policyKindName;
+using sched::policyLabel;
 
 struct SimulationOptions {
   /// Suspension/restart cost model; nullptr = free preemption.
   const sim::OverheadPolicy* overhead = nullptr;
+  /// Pending-event set implementation (sim::EventQueue). Both kinds replay
+  /// bit-identically; BinaryHeap is the reference the calendar queue is
+  /// pinned against by the property suite and the differential fuzzer.
+  sim::QueueKind queueKind = sim::QueueKind::Calendar;
   /// Structured-trace destination. Events only flow in builds configured
   /// with -DSPS_TRACE=ON (obs::kTraceCompiledIn); counters are collected
   /// either way. The sink must be thread-safe when the same options are
@@ -78,13 +63,6 @@ struct SimulationOptions {
   /// per-event hot path.
   std::uint32_t progressStride = 4096;
 };
-
-/// Instantiate the policy a spec describes.
-[[nodiscard]] std::unique_ptr<sim::SchedulingPolicy> makePolicy(
-    const PolicySpec& spec);
-
-/// Display label of a spec: spec.label if set, else the policy's name().
-[[nodiscard]] std::string policyLabel(const PolicySpec& spec);
 
 /// Run one simulation to completion and collect metrics.
 [[nodiscard]] metrics::RunStats runSimulation(

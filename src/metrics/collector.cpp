@@ -46,7 +46,7 @@ RunStats collect(const sim::Simulator& simulator,
   double computeProcSeconds = 0.0;
   for (const workload::Job& j : simulator.trace().jobs) {
     const sim::JobExec& x = simulator.exec(j.id);
-    SPS_CHECK_MSG(x.state == sim::JobState::Finished,
+    SPS_CHECK_MSG(simulator.state(j.id) == sim::JobState::Finished,
                   "job " << j.id << " did not finish");
     JobResult r;
     r.id = j.id;

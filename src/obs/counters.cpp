@@ -22,6 +22,10 @@ const char* counterName(Counter counter) {
     case Counter::IndexMisses: return "kernel.index.misses";
     case Counter::IndexSeededSorts: return "kernel.index.seededSorts";
     case Counter::IndexFullSorts: return "kernel.index.fullSorts";
+    case Counter::VictimInserts: return "kernel.victim.inserts";
+    case Counter::VictimRemoves: return "kernel.victim.removes";
+    case Counter::VictimRangeQueries: return "kernel.victim.rangeQueries";
+    case Counter::VictimBoundSkips: return "kernel.victim.boundSkips";
     case Counter::AnchorQueries: return "kernel.engine.anchorQueries";
     case Counter::ShadowQueries: return "kernel.engine.shadowQueries";
     case Counter::BackfillTests: return "kernel.engine.backfillTests";
@@ -33,6 +37,8 @@ const char* counterName(Counter counter) {
     case Counter::FenceScans: return "policy.fenceScans";
     case Counter::VictimTests: return "policy.victimTests";
     case Counter::Preemptions: return "policy.preemptions";
+    case Counter::PassSkips: return "policy.passSkips";
+    case Counter::DispatchSkips: return "policy.dispatchSkips";
     case Counter::CheckTransitionAudits: return "check.transitionAudits";
     case Counter::CheckEpochAudits: return "check.epochAudits";
     case Counter::TimelineSamples: return "obs.timeline.samples";

@@ -44,6 +44,11 @@ enum class Counter : std::uint8_t {
   IndexMisses,         ///< idle() had to recompute
   IndexSeededSorts,    ///< resorts seeded by the previous epoch's order
   IndexFullSorts,      ///< from-scratch std::sort resorts
+  // --- scheduling kernel: victim index ------------------------------------
+  VictimInserts,       ///< running jobs entered into the VictimIndex
+  VictimRemoves,       ///< running jobs dropped from the VictimIndex
+  VictimRangeQueries,  ///< SF/TSS boundary searches over a category
+  VictimBoundSkips,    ///< candidates rejected by the gain upper bound alone
   // --- scheduling kernel: backfill engine --------------------------------
   AnchorQueries,       ///< earliest-anchor scans over the profile
   ShadowQueries,       ///< shadow-time computations for a pivot job
@@ -57,6 +62,8 @@ enum class Counter : std::uint8_t {
   FenceScans,          ///< SS claim/lease fence recomputations
   VictimTests,         ///< SS victim-eligibility evaluations
   Preemptions,         ///< suspensions issued by the SS preemption pass
+  PassSkips,           ///< SS preemption passes proven no-ops and skipped
+  DispatchSkips,       ///< SS dispatches proven no-ops and skipped
   // --- invariant oracle (check/) ------------------------------------------
   CheckTransitionAudits,  ///< state transitions audited by sps::check
   CheckEpochAudits,       ///< sampled epoch audits (guarantee poll + ledger)

@@ -1,5 +1,28 @@
 #include "sched/core/priority_index.hpp"
 
+#ifdef SPS_MANUAL_PROF
+#include <x86intrin.h>
+#include <cstdio>
+namespace {
+struct PIProfAcc {
+  unsigned long long t[4] = {};
+  ~PIProfAcc() {
+    std::fprintf(stderr,
+                 "PROF(pidx Mcycles) ensure=%llu refresh=%llu sort=%llu compact=%llu\n",
+                 t[0] / 1000000, t[1] / 1000000, t[2] / 1000000, t[3] / 1000000);
+  }
+} piProfAcc;
+struct PIProfScope {
+  unsigned long long s; int i;
+  explicit PIProfScope(int idx) : s(__rdtsc()), i(idx) {}
+  ~PIProfScope() { piProfAcc.t[i] += __rdtsc() - s; }
+};
+}  // namespace
+#define SPS_PIPROF(i) PIProfScope pi_prof_scope_(i)
+#else
+#define SPS_PIPROF(i)
+#endif
+
 #include <algorithm>
 
 #include "obs/trace.hpp"
@@ -32,6 +55,10 @@ void adaptiveSort(std::vector<JobId>& jobs, Cmp cmp, bool seeded) {
       jobs[j] = jobs[j - 1];
       --j;
       if (--budget == 0) {
+        // The in-flight element still lives in `v` and the shift left its
+        // hole at jobs[j] — restore it first, or the fallback sorts an
+        // array with one element duplicated and one lost.
+        jobs[j] = v;
         std::sort(jobs.begin(), jobs.end(), cmp);
         return;
       }
@@ -42,13 +69,249 @@ void adaptiveSort(std::vector<JobId>& jobs, Cmp cmp, bool seeded) {
 
 }  // namespace
 
+void IdleWalk::iterator::settle() {
+  const std::vector<JobId>& order = *walk_->order_;
+  const auto mask = static_cast<std::uint8_t>(walk_->filter_);
+  while (pos_ < order.size()) {
+    const sim::JobState st = walk_->sim_->state(order[pos_]);
+    const std::uint8_t bit = st == sim::JobState::Queued      ? 1
+                             : st == sim::JobState::Suspended ? 2
+                                                              : 0;
+    if ((bit & mask) != 0) return;
+    ++pos_;
+  }
+}
+
 std::vector<JobId> PriorityIndex::idle(const sim::Simulator& simulator) {
+  if (maintained_ && attached_ == &simulator) {
+    // May contain tombstones (jobs no longer idle); callers re-check state
+    // at use, exactly as with any stale snapshot entry.
+    ensureMaintained(simulator);
+    return idle_;
+  }
   const bool hit = mode_ == KernelMode::Incremental && valid_ &&
                    sim_ == &simulator && epoch_ == simulator.epoch();
   simulator.counters().inc(hit ? obs::Counter::IndexHits
                                : obs::Counter::IndexMisses);
   if (!hit) recompute(simulator);
   return idle_;
+}
+
+IdleWalk PriorityIndex::walk(const sim::Simulator& simulator,
+                             IdleFilter filter) {
+  if (maintained_ && attached_ == &simulator) {
+    ensureMaintained(simulator);
+    return {idle_, simulator, filter};
+  }
+  const bool hit = mode_ == KernelMode::Incremental && valid_ &&
+                   sim_ == &simulator && epoch_ == simulator.epoch();
+  simulator.counters().inc(hit ? obs::Counter::IndexHits
+                               : obs::Counter::IndexMisses);
+  if (!hit) recompute(simulator);
+  return {idle_, simulator, filter};
+}
+
+void PriorityIndex::attach(sim::Simulator& simulator) {
+  valid_ = false;
+  sim_ = nullptr;
+  pending_.clear();
+  orderValidUntil_ = kNoTime;
+  inPending_.assign(simulator.trace().jobs.size(), 0);
+  maintained_ = true;
+  const bool firstAttach = attached_ == nullptr;
+  attached_ = &simulator;
+  if (firstAttach) {
+    // One registration per index lifetime: on re-attach the observer is
+    // already in place (stale simulators are filtered by `attached_`).
+    simulator.observers().onStateChange(
+        [this](const sim::Simulator& s, JobId id, sim::JobState from,
+               sim::JobState to) {
+          if (&s != attached_) return;
+          const auto idle = [](sim::JobState st) {
+            return st == sim::JobState::Queued ||
+                   st == sim::JobState::Suspended;
+          };
+          const bool was = idle(from);
+          const bool is = idle(to);
+          // Invalid cache: the next refresh gathers membership from
+          // scratch, so nothing to track. Note this never mutates idle_ —
+          // transitions fire mid-walk (the walker's own starts and
+          // resumes), and IdleWalk borrows idle_ by reference.
+          if (was == is || !valid_) return;
+          if (is) {
+            pending_.push_back(id);
+          } else {
+            // Leaving the idle set: cancel an unplaced arrival, or leave a
+            // placed entry behind as a tombstone the walks' live state
+            // filter already hides (compacted before the next placement).
+            const auto it = std::find(pending_.begin(), pending_.end(), id);
+            if (it != pending_.end()) pending_.erase(it);
+          }
+        });
+  }
+}
+
+void PriorityIndex::ensureMaintained(const sim::Simulator& simulator) {
+  SPS_PIPROF(0);
+  const bool hit =
+      valid_ && sim_ == &simulator && simulator.now() < orderValidUntil_;
+  simulator.counters().inc(hit ? obs::Counter::IndexHits
+                               : obs::Counter::IndexMisses);
+  if (!hit) {
+    refreshMaintained(simulator);
+  } else if (!pending_.empty()) {
+    compactAndApply(simulator);
+  }
+#ifdef SPS_INDEX_AUDIT
+  {
+    std::vector<JobId> live;
+    for (const JobId id : idle_)
+      if (simulator.state(id) == sim::JobState::Queued ||
+          simulator.state(id) == sim::JobState::Suspended)
+        live.push_back(id);
+    std::vector<JobId> ref;
+    for (const JobId id : simulator.queuedJobs()) ref.push_back(id);
+    for (const JobId id : simulator.suspendedJobs())
+      if (simulator.state(id) == sim::JobState::Suspended) ref.push_back(id);
+    std::sort(ref.begin(), ref.end(), [&](JobId a, JobId b) {
+      const double xa = simulator.xfactor(a);
+      const double xb = simulator.xfactor(b);
+      if (order_ == IndexOrder::XFactorDesc && xa != xb) return xa > xb;
+      if (simulator.job(a).submit != simulator.job(b).submit)
+        return simulator.job(a).submit < simulator.job(b).submit;
+      return a < b;
+    });
+    if (live != ref) {
+      std::fprintf(stderr, "INDEX AUDIT FAIL at t=%lld hit=%d live=%zu ref=%zu\n",
+                   static_cast<long long>(simulator.now()), hit ? 1 : 0,
+                   live.size(), ref.size());
+      for (std::size_t i = 0; i < std::max(live.size(), ref.size()); ++i) {
+        const long long l = i < live.size() ? static_cast<long long>(live[i]) : -1;
+        const long long r = i < ref.size() ? static_cast<long long>(ref[i]) : -1;
+        if (l != r)
+          std::fprintf(stderr, "  [%zu] live=%lld (x=%g) ref=%lld (x=%g)\n", i,
+                       l, l >= 0 ? simulator.xfactor(static_cast<JobId>(l)) : 0.0,
+                       r, r >= 0 ? simulator.xfactor(static_cast<JobId>(r)) : 0.0);
+      }
+      std::abort();
+    }
+  }
+#endif
+}
+
+void PriorityIndex::refreshMaintained(const sim::Simulator& simulator) {
+  SPS_PIPROF(1);
+  if (!valid_ || sim_ != &simulator) {
+    // No trustworthy bookkeeping to lean on: gather membership from the
+    // simulator's lists (the full recompute path).
+    pending_.clear();
+    recompute(simulator);
+  } else {
+    // Horizon expiry with membership still exact: the observer tracked
+    // every idle transition, so skip the gather/stamp reconciliation
+    // entirely — drop tombstones (and stale copies of re-entered jobs),
+    // append the unplaced arrivals anywhere, and let the seeded sort
+    // repair the handful of drifted positions.
+    simulator.counters().inc(obs::Counter::IndexSeededSorts);
+    for (const JobId id : pending_) inPending_[id] = 1;
+    std::size_t keep = 0;
+    for (const JobId id : idle_) {
+      const sim::JobState st = simulator.state(id);
+      if ((st == sim::JobState::Queued || st == sim::JobState::Suspended) &&
+          inPending_[id] == 0)
+        idle_[keep++] = id;
+    }
+    idle_.resize(keep);
+    for (const JobId id : pending_) {
+      inPending_[id] = 0;
+      const sim::JobState st = simulator.state(id);
+      if (st == sim::JobState::Queued || st == sim::JobState::Suspended)
+        idle_.push_back(id);
+    }
+    pending_.clear();
+    epoch_ = simulator.epoch();
+    sortCurrent(simulator, /*seeded=*/true);
+  }
+  orderValidUntil_ = kTimeMax;
+  if (order_ != IndexOrder::XFactorDesc) return;  // static order: no drift
+  for (std::size_t i = 0; i + 1 < idle_.size(); ++i)
+    pairHorizon(simulator, i, priority_[idle_[i]], priority_[idle_[i + 1]]);
+}
+
+void PriorityIndex::pairHorizon(const sim::Simulator& simulator,
+                                std::size_t i, double xa, double xb) {
+  // Idle priorities rise linearly at slope 1/estimate. The lower entry b
+  // can only overtake its neighbor a when it rises faster; the crossing of
+  // the two lines then bounds how long the cached pairwise order holds.
+  // Chained across adjacencies (any global order change passes through an
+  // adjacent equality first), the minimum over all pairs ever adjacent
+  // bounds the first time a fresh sort could disagree with the cache. The
+  // floor-minus-one margin dwarfs the float error of the crossing (well
+  // under a second), and sub-second proximity to the true crossing is also
+  // where equal-double ties could flip the comparator — the margin keeps
+  // every served time clear of both.
+  const auto ea = static_cast<double>(simulator.job(idle_[i]).estimate);
+  const auto eb = static_cast<double>(simulator.job(idle_[i + 1]).estimate);
+  if (eb >= ea) return;
+  const double rate = 1.0 / eb - 1.0 / ea;
+  const double tc =
+      static_cast<double>(simulator.now()) + (xa - xb) / rate;
+  const Time h = tc >= static_cast<double>(kTimeMax)
+                     ? kTimeMax
+                     : static_cast<Time>(tc) - 1;
+  orderValidUntil_ = std::min(orderValidUntil_, h);
+}
+
+void PriorityIndex::compactAndApply(const sim::Simulator& simulator) {
+  SPS_PIPROF(3);
+  // Tombstones must go before a binary search can trust the array: a
+  // no-longer-idle entry's priority froze when it left, so the live
+  // entries around it may have outgrown it without any recorded crossing.
+  // A job that left and re-entered the idle set is both a tombstone and a
+  // pending arrival — inPending_ drops the stale copy.
+  for (const JobId id : pending_) inPending_[id] = 1;
+  std::size_t keep = 0;
+  for (const JobId id : idle_) {
+    const sim::JobState st = simulator.state(id);
+    if ((st == sim::JobState::Queued || st == sim::JobState::Suspended) &&
+        inPending_[id] == 0)
+      idle_[keep++] = id;
+  }
+  idle_.resize(keep);
+  for (const JobId id : pending_) {
+    inPending_[id] = 0;
+    const sim::JobState st = simulator.state(id);
+    if (st != sim::JobState::Queued && st != sim::JobState::Suspended)
+      continue;  // guard; the observer cancels unplaced leavers
+    const Time submit = simulator.job(id).submit;
+    double x = 0.0;
+    auto before = [&](JobId m) {
+      if (order_ == IndexOrder::SubmitAsc) {
+        const Time sm = simulator.job(m).submit;
+        if (sm != submit) return sm < submit;
+        return m < id;
+      }
+      // Walk order against *current* priorities — the horizon guarantees
+      // the cached order agrees with them, so the sequence is monotone.
+      const double xm = simulator.xfactor(m);
+      if (xm != x) return xm > x;
+      const Time sm = simulator.job(m).submit;
+      if (sm != submit) return sm < submit;
+      return m < id;
+    };
+    if (order_ == IndexOrder::XFactorDesc) x = simulator.xfactor(id);
+    const auto it =
+        std::lower_bound(idle_.begin(), idle_.end(), id,
+                         [&](JobId m, JobId) { return before(m); });
+    const auto pos = static_cast<std::size_t>(it - idle_.begin());
+    idle_.insert(it, id);
+    if (order_ != IndexOrder::XFactorDesc) continue;
+    if (pos > 0)
+      pairHorizon(simulator, pos - 1, simulator.xfactor(idle_[pos - 1]), x);
+    if (pos + 1 < idle_.size())
+      pairHorizon(simulator, pos, x, simulator.xfactor(idle_[pos + 1]));
+  }
+  pending_.clear();
 }
 
 void PriorityIndex::recompute(const sim::Simulator& simulator) {
@@ -71,7 +334,7 @@ void PriorityIndex::recompute(const sim::Simulator& simulator) {
                   simulator.suspendedJobs().size());
   for (const JobId id : simulator.queuedJobs()) gather_.push_back(id);
   for (const JobId id : simulator.suspendedJobs())
-    if (simulator.exec(id).state == sim::JobState::Suspended)
+    if (simulator.state(id) == sim::JobState::Suspended)
       gather_.push_back(id);
 
   if (seeded) {
@@ -92,6 +355,12 @@ void PriorityIndex::recompute(const sim::Simulator& simulator) {
     idle_ = gather_;
   }
 
+  sortCurrent(simulator, seeded);
+}
+
+void PriorityIndex::sortCurrent(const sim::Simulator& simulator,
+                                bool seeded) {
+  SPS_PIPROF(2);
   if (order_ == IndexOrder::XFactorDesc) {
     priority_.resize(simulator.trace().jobs.size());
     for (const JobId id : idle_) priority_[id] = simulator.xfactor(id);

@@ -26,7 +26,8 @@
 
 namespace sps::sim {
 class Simulator;
-}
+enum class JobState : std::uint8_t;
+}  // namespace sps::sim
 
 namespace sps::sched::kernel {
 
@@ -37,6 +38,63 @@ enum class IndexOrder : std::uint8_t {
   XFactorDesc,
   /// Submission order (IS dispatch); ties by id.
   SubmitAsc,
+};
+
+/// Which lifecycle states a walk over the index yields.
+enum class IdleFilter : std::uint8_t {
+  Queued = 1,
+  Suspended = 2,
+  Idle = 3,  ///< Queued | Suspended
+};
+
+/// Borrowing, skip-on-stale view over the index's maintained order
+/// (PriorityIndex::walk). The order is a snapshot, but the *membership
+/// test is live*: each step re-reads the job's current state and skips
+/// entries that no longer match the filter — so jobs started, resumed, or
+/// suspended mid-walk (the walker's own actions) disappear from the walk
+/// at the index layer instead of needing a state re-check at every call
+/// site. Valid until the next walk()/idle()/reset() on the owning index;
+/// no copy of the order is made.
+class IdleWalk {
+ public:
+  class iterator {
+   public:
+    using value_type = JobId;
+    [[nodiscard]] JobId operator*() const { return (*walk_->order_)[pos_]; }
+    iterator& operator++() {
+      ++pos_;
+      settle();
+      return *this;
+    }
+    [[nodiscard]] bool operator==(const iterator& o) const {
+      return pos_ == o.pos_;
+    }
+
+   private:
+    friend class IdleWalk;
+    iterator(const IdleWalk* walk, std::size_t pos)
+        : walk_(walk), pos_(pos) {
+      settle();
+    }
+    /// Advance past entries whose current state fails the filter.
+    void settle();
+
+    const IdleWalk* walk_;
+    std::size_t pos_;
+  };
+
+  [[nodiscard]] iterator begin() const { return {this, 0}; }
+  [[nodiscard]] iterator end() const { return {this, order_->size()}; }
+
+ private:
+  friend class PriorityIndex;
+  IdleWalk(const std::vector<JobId>& order, const sim::Simulator& simulator,
+           IdleFilter filter)
+      : order_(&order), sim_(&simulator), filter_(filter) {}
+
+  const std::vector<JobId>* order_;
+  const sim::Simulator* sim_;
+  IdleFilter filter_;
 };
 
 class PriorityIndex {
@@ -52,15 +110,54 @@ class PriorityIndex {
   void reset() {
     valid_ = false;
     sim_ = nullptr;
+    pending_.clear();
+    orderValidUntil_ = kNoTime;
   }
+
+  /// Maintained mode: bind to a simulator and register a state-change
+  /// observer that keeps idle *membership* current (the way VictimIndex
+  /// follows the running set), so walks serve the cached order without a
+  /// per-epoch rebuild. The *order* is revalidated against a crossing
+  /// horizon: idle priorities all rise with the clock but at per-job rates
+  /// (slope 1/estimate), so the earliest time any two adjacent entries can
+  /// swap is computable at sort time — until then a fresh sort would
+  /// reproduce the cached order bit-identically, and the order stays valid
+  /// across arbitrarily many transitions that walks' live state filter
+  /// already hides. Call from onSimulationStart (incremental mode only);
+  /// replaces reset().
+  void attach(sim::Simulator& simulator);
 
   /// The idle jobs — Queued plus fully-Suspended (never Suspending) —
   /// sorted by the index order. Cached on Simulator::epoch() in incremental
   /// mode; recomputed per call (the seed behaviour) in rebuild mode.
   [[nodiscard]] std::vector<JobId> idle(const sim::Simulator& simulator);
 
+  /// Like idle(), but returns a borrowing skip-on-stale view instead of a
+  /// by-value snapshot: no copy, and jobs whose state changes mid-walk are
+  /// filtered by the iterator itself. The view is invalidated by the next
+  /// idle()/walk()/reset() call on this index.
+  [[nodiscard]] IdleWalk walk(const sim::Simulator& simulator,
+                              IdleFilter filter = IdleFilter::Idle);
+
  private:
   void recompute(const sim::Simulator& simulator);
+  /// Precompute priorities for the current members and sort idle_ under the
+  /// index comparator (the shared tail of recompute / refreshMaintained).
+  void sortCurrent(const sim::Simulator& simulator, bool seeded);
+  /// Maintained-mode cache check: full refresh on horizon expiry, pending
+  /// insertion otherwise. Serves idle() and walk().
+  void ensureMaintained(const sim::Simulator& simulator);
+  /// Full rebuild: seeded recompute plus a fresh adjacent-pair crossing
+  /// horizon.
+  void refreshMaintained(const sim::Simulator& simulator);
+  /// Drop tombstoned entries (jobs no longer idle — walks were already
+  /// skipping them) and binary-insert the pending arrivals/drains, folding
+  /// each new adjacency's crossing into the running horizon minimum.
+  void compactAndApply(const sim::Simulator& simulator);
+  /// Fold the crossing time of adjacent entries idle_[i], idle_[i+1]
+  /// (current priorities xa >= xb) into orderValidUntil_.
+  void pairHorizon(const sim::Simulator& simulator, std::size_t i,
+                   double xa, double xb);
 
   IndexOrder order_;
   KernelMode mode_;
@@ -78,6 +175,16 @@ class PriorityIndex {
   std::vector<std::uint64_t> memberStamp_;
   std::vector<std::uint64_t> previousStamp_;
   std::uint64_t generation_ = 0;
+  /// Maintained-mode state. The cached order is fresh-sort-consistent
+  /// while now < orderValidUntil_ (exclusive); pending_ holds jobs that
+  /// entered the idle set since the last walk and await placement. Entries
+  /// whose jobs left the idle set are tombstones: walks' live state filter
+  /// hides them, and they are compacted away before the next placement.
+  bool maintained_ = false;
+  const sim::Simulator* attached_ = nullptr;
+  Time orderValidUntil_ = kNoTime;
+  std::vector<JobId> pending_;
+  std::vector<std::uint8_t> inPending_;  ///< compaction scratch, per job
 };
 
 }  // namespace sps::sched::kernel

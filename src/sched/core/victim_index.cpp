@@ -1,0 +1,129 @@
+#include "sched/core/victim_index.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/counters.hpp"
+#include "sim/simulator.hpp"
+#include "workload/category.hpp"
+
+namespace sps::sched::kernel {
+
+namespace {
+
+/// Strict total order (frozen xfactor, id) — the reference pass's
+/// runningAsc sort order.
+bool entryLess(const VictimIndex::Entry& a, const VictimIndex::Entry& b) {
+  if (a.xfactor != b.xfactor) return a.xfactor < b.xfactor;
+  return a.job < b.job;
+}
+
+}  // namespace
+
+void VictimIndex::attach(sim::Simulator& simulator) {
+  for (std::vector<Entry>& vec : cats_) vec.clear();
+  prefixDirty_.fill(true);
+  serial_ = 0;
+  count_ = 0;
+  owner_.assign(simulator.machine().totalProcs(), kInvalidJob);
+  catOf_.assign(simulator.trace().jobs.size(), 0);
+  const bool firstAttach = attached_ == nullptr;
+  attached_ = &simulator;
+  if (firstAttach) {
+    // One registration per index lifetime: on re-attach the observer is
+    // already in place (stale simulators are filtered by `attached_`).
+    simulator.observers().onStateChange(
+        [this](const sim::Simulator& s, JobId id, sim::JobState from,
+               sim::JobState to) {
+          if (&s != attached_) return;
+          if (to == sim::JobState::Running)
+            insert(s, id);
+          else if (from == sim::JobState::Running)
+            remove(s, id);
+        });
+  }
+}
+
+void VictimIndex::insert(const sim::Simulator& s, JobId id) {
+  const workload::Job& j = s.job(id);
+  // Scheduler-visible categorization (estimate, not actual runtime) — the
+  // same classification the TSS limits are keyed by.
+  const std::size_t cat = workload::category16(j.estimate, j.procs);
+  Entry e;
+  e.xfactor = s.xfactor(id);  // frozen for the whole running segment
+  e.job = id;
+  e.procs = j.procs;
+  e.serial = serial_++;
+  std::vector<Entry>& vec = cats_[cat];
+  vec.insert(std::lower_bound(vec.begin(), vec.end(), e, entryLess), e);
+  prefixDirty_[cat] = true;
+  catOf_[id] = static_cast<std::uint8_t>(cat);
+  ++count_;
+  s.exec(id).procs.forEach([this, id](std::uint32_t p) { owner_[p] = id; });
+  s.counters().inc(obs::Counter::VictimInserts);
+}
+
+void VictimIndex::remove(const sim::Simulator& s, JobId id) {
+  const std::size_t cat = catOf_[id];
+  std::vector<Entry>& vec = cats_[cat];
+  // The frozen priority is bit-identical to the insertion value (wait is
+  // frozen while running and the formula is the same), so the entry is
+  // found by binary search, not a scan.
+  Entry probe;
+  probe.xfactor = s.xfactor(id);
+  probe.job = id;
+  const auto it = std::lower_bound(vec.begin(), vec.end(), probe, entryLess);
+  SPS_CHECK_MSG(it != vec.end() && it->job == id,
+                "victim index missing running job " << id);
+  vec.erase(it);
+  prefixDirty_[cat] = true;
+  --count_;
+  s.exec(id).procs.forEach([this](std::uint32_t p) {
+    owner_[p] = kInvalidJob;
+  });
+  s.counters().inc(obs::Counter::VictimRemoves);
+}
+
+double VictimIndex::minPriority() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const std::vector<Entry>& vec : cats_)
+    if (!vec.empty()) best = std::min(best, vec.front().xfactor);
+  return best;
+}
+
+std::size_t VictimIndex::sfBoundary(std::size_t cat, double preemptorPriority,
+                                    double sf) const {
+  const std::vector<Entry>& vec = cats_[cat];
+  attached_->counters().inc(obs::Counter::VictimRangeQueries);
+  const auto it = std::partition_point(
+      vec.begin(), vec.end(), [preemptorPriority, sf](const Entry& e) {
+        // Eligible prefix: exactly the entries the reference's per-victim
+        // SF test `preemptorPriority < sf * xfactor` would NOT reject.
+        return !(preemptorPriority < sf * e.xfactor);
+      });
+  return static_cast<std::size_t>(it - vec.begin());
+}
+
+std::size_t VictimIndex::limitBoundary(std::size_t cat, double limit) const {
+  const std::vector<Entry>& vec = cats_[cat];
+  attached_->counters().inc(obs::Counter::VictimRangeQueries);
+  const auto it = std::partition_point(
+      vec.begin(), vec.end(),
+      [limit](const Entry& e) { return e.xfactor < limit; });
+  return static_cast<std::size_t>(it - vec.begin());
+}
+
+std::uint32_t VictimIndex::gainPrefix(std::size_t cat, std::size_t end) const {
+  const std::vector<Entry>& vec = cats_[cat];
+  std::vector<std::uint32_t>& pre = prefix_[cat];
+  if (prefixDirty_[cat]) {
+    pre.resize(vec.size() + 1);
+    pre[0] = 0;
+    for (std::size_t i = 0; i < vec.size(); ++i)
+      pre[i + 1] = pre[i] + vec[i].procs;
+    prefixDirty_[cat] = false;
+  }
+  return pre[end];
+}
+
+}  // namespace sps::sched::kernel

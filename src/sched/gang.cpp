@@ -46,12 +46,12 @@ void GangScheduler::launchActiveSlot(sim::Simulator& simulator) {
   // Resume previously-run members first: they must reclaim their exact
   // processors before first-time starts can grab anything.
   for (JobId id : slots_[active_].jobs) {
-    const auto& x = simulator.exec(id);
-    if (x.state == sim::JobState::Suspended) simulator.resumeJob(id);
+    if (simulator.state(id) == sim::JobState::Suspended)
+      simulator.resumeJob(id);
   }
   for (JobId id : slots_[active_].jobs) {
     const auto& x = simulator.exec(id);
-    if (x.state == sim::JobState::Queued && x.suspendCount == 0)
+    if (simulator.state(id) == sim::JobState::Queued && x.suspendCount == 0)
       simulator.startJob(id);
   }
 }
@@ -83,9 +83,9 @@ void GangScheduler::beginSwitch(sim::Simulator& simulator) {
   // drain asynchronously; the target row activates once the last one ends.
   const std::vector<JobId> members = slots_[active_].jobs;
   for (JobId id : members) {
-    if (simulator.exec(id).state != sim::JobState::Running) continue;
+    if (simulator.state(id) != sim::JobState::Running) continue;
     simulator.suspendJob(id);
-    if (simulator.exec(id).state == sim::JobState::Suspending)
+    if (simulator.state(id) == sim::JobState::Suspending)
       ++drainsOutstanding_;
   }
   finishSwitchIfDrained(simulator);

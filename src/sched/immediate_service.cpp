@@ -19,7 +19,7 @@ void ImmediateService::onSimulationStart(sim::Simulator& /*simulator*/) {
 bool ImmediateService::inFirstQuantum(const sim::Simulator& s,
                                       JobId id) const {
   const auto& x = s.exec(id);
-  return x.state == sim::JobState::Running && x.suspendCount == 0 &&
+  return s.state(id) == sim::JobState::Running && x.suspendCount == 0 &&
          s.accumulatedRun(id) < config_.quantum;
 }
 
@@ -46,7 +46,7 @@ void ImmediateService::onTimer(sim::Simulator& simulator, std::uint64_t tag) {
   // Quantum-expiry timer; the tag is the job id.
   const JobId job = static_cast<JobId>(tag);
   const auto& x = simulator.exec(job);
-  if (x.state != sim::JobState::Running || x.suspendCount != 0)
+  if (simulator.state(job) != sim::JobState::Running || x.suspendCount != 0)
     return;  // finished or already preempted some other way
   // Suspend only if some waiting job could actually use the processors.
   const std::uint32_t wouldFree =
@@ -57,7 +57,7 @@ void ImmediateService::onTimer(sim::Simulator& simulator, std::uint64_t tag) {
   for (JobId w : simulator.queuedJobs())
     helpsSomeone |= simulator.job(w).procs <= wouldFree;
   for (JobId w : simulator.suspendedJobs())
-    if (w != job && simulator.exec(w).state == sim::JobState::Suspended)
+    if (w != job && simulator.state(w) == sim::JobState::Suspended)
       helpsSomeone |= simulator.exec(w).procs.isSubsetOf(wouldFreeSet);
   if (helpsSomeone) {
     simulator.suspendJob(job);
@@ -69,7 +69,7 @@ void ImmediateService::onTimer(sim::Simulator& simulator, std::uint64_t tag) {
 void ImmediateService::grantImmediateService(sim::Simulator& simulator,
                                              JobId job) {
   const auto& j = simulator.job(job);
-  SPS_CHECK(simulator.exec(job).state == sim::JobState::Queued);
+  SPS_CHECK(simulator.state(job) == sim::JobState::Queued);
   if (pendingGrant_ != kInvalidJob) return;  // one outstanding grant at a time
   if (j.procs > simulator.freeCount()) {
     // Collect victims: lowest instantaneous-xfactor first, skipping jobs
@@ -96,7 +96,7 @@ void ImmediateService::grantImmediateService(sim::Simulator& simulator,
     for (JobId r : victims) {
       simulator.suspendJob(r);
       ++preemptions_;
-      if (simulator.exec(r).state == sim::JobState::Suspending)
+      if (simulator.state(r) == sim::JobState::Suspending)
         anyDraining = true;
     }
     if (anyDraining) {
@@ -117,7 +117,7 @@ void ImmediateService::dispatch(sim::Simulator& simulator) {
   // An outstanding grant owns every processor that frees up until it runs.
   if (pendingGrant_ != kInvalidJob) {
     const JobId job = pendingGrant_;
-    SPS_CHECK(simulator.exec(job).state == sim::JobState::Queued);
+    SPS_CHECK(simulator.state(job) == sim::JobState::Queued);
     if (simulator.job(job).procs <= simulator.freeCount()) {
       pendingGrant_ = kInvalidJob;
       simulator.startJob(job);
@@ -130,14 +130,16 @@ void ImmediateService::dispatch(sim::Simulator& simulator) {
 
   // Single greedy pass over all waiting work in submission order. Starts
   // and resumptions only consume processors, so one pass is complete.
-  const std::vector<JobId> waiting = waitingIndex_.idle(simulator);
-  sim::ProcSet owed;
-  for (JobId s : simulator.suspendedJobs())
-    if (simulator.exec(s).state == sim::JobState::Suspended)
-      owed |= simulator.exec(s).procs;
-  for (JobId id : waiting) {
+  //
+  // The owed set starts from the simulator's refcounted aggregate (the
+  // union the old per-dispatch suspended-list scan rebuilt) but must be a
+  // local snapshot: the walk below subtracts each resumed job's processors
+  // as it goes, and that running remainder is policy bookkeeping the
+  // live aggregate does not mirror (overlapping owed sets refcount).
+  sim::ProcSet owed = simulator.suspendedOwedSet();
+  for (JobId id : waitingIndex_.walk(simulator, kernel::IdleFilter::Idle)) {
     const auto& x = simulator.exec(id);
-    if (x.state == sim::JobState::Suspended) {
+    if (simulator.state(id) == sim::JobState::Suspended) {
       // Never bounce a job suspended at this very instant straight back in
       // — the suspension was made to give its processors to someone else.
       if (x.waitSince == simulator.now()) continue;

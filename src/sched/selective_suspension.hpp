@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "sched/core/priority_index.hpp"
+#include "sched/core/victim_index.hpp"
 #include "sim/policy.hpp"
 #include "sim/procset.hpp"
 #include "workload/category.hpp"
@@ -137,15 +138,20 @@ class SelectiveSuspension final : public sim::SchedulingPolicy {
   };
 
   [[nodiscard]] bool isClaimant(JobId id) const;
-  /// Sum of processor counts owed to count-based (fresh) claims.
+  /// Sum of processor counts owed to count-based (fresh) claims. Served
+  /// from a dirty-flagged cache invalidated on claims_ mutation.
   [[nodiscard]] std::uint32_t claimedCount(const sim::Simulator& s) const;
-  /// Union of processor sets fenced by exact (reentry) claims.
-  [[nodiscard]] sim::ProcSet claimedSet(const sim::Simulator& s) const;
+  /// Union of processor sets fenced by exact (reentry) claims. Same cache.
+  [[nodiscard]] const sim::ProcSet& claimedSet(const sim::Simulator& s) const;
+  /// Rebuild both claim caches if claims_ changed since the last read.
+  void refreshClaims(const sim::Simulator& s) const;
 
   /// Union of processor sets owed to suspended jobs (they must resume on
   /// exactly these). Fresh starts avoid them when possible so suspended
-  /// jobs are not stranded behind squatters.
-  [[nodiscard]] sim::ProcSet suspendedSets(const sim::Simulator& s) const;
+  /// jobs are not stranded behind squatters. Served from the simulator's
+  /// refcounted suspendedOwedSet() aggregate — O(1), audited by sps::check.
+  [[nodiscard]] const sim::ProcSet& suspendedSets(
+      const sim::Simulator& s) const;
 
   /// Start a fresh job, preferring processors no suspended job is owed.
   void startFreshPreferring(sim::Simulator& s, JobId id);
@@ -168,14 +174,61 @@ class SelectiveSuspension final : public sim::SchedulingPolicy {
   void dispatch(sim::Simulator& simulator);
 
   /// The paper's preemption routine (pseudocode, Section IV-C). Runs on the
-  /// periodic timer.
+  /// periodic timer; dispatches by kernel mode.
   void preemptionPass(sim::Simulator& simulator);
+  /// Reference shape: sort the whole running set, test every victim per
+  /// candidate. The bit-identical baseline the golden suite pins.
+  void preemptionPassRebuild(sim::Simulator& simulator);
+  /// Indexed shape: VictimIndex range queries + gain bound + 16-way merge.
+  /// Same decisions as Rebuild (argued inline), a fraction of the work.
+  void preemptionPassIncremental(sim::Simulator& simulator);
+
+  /// Tick gate (Incremental only): one sweep over the idle jobs that both
+  /// decides skippability and gathers the pass's working set. Returns true
+  /// when this tick's pass is provably a no-op — every idle candidate's
+  /// priority is below SF x the weakest running priority, so every SF test
+  /// in the pass would fail. Otherwise tickPrefix_ holds the (priority, id)
+  /// pairs at or above that threshold — exactly the candidates the pass
+  /// can reach before its live break — so the pass needs no further index
+  /// work. Caches the verdict with a transition stamp and an algebraic
+  /// horizon so consecutive quiet ticks skip in O(1).
+  [[nodiscard]] bool tickPassSkippable(sim::Simulator& simulator);
+
+  /// Suspend `victims` on behalf of preemptor `id` needing `width` procs
+  /// beyond `freeNow`: widest-first until covered, then claim or place the
+  /// preemptor. The tail shared verbatim by both pass shapes.
+  void executeFreshPreemption(sim::Simulator& simulator, JobId id,
+                              std::uint32_t width, std::uint32_t freeNow,
+                              std::vector<JobId>& victims);
 
   void armTick(sim::Simulator& simulator);
 
   SsConfig config_;
   kernel::PriorityIndex idleIndex_;
+  kernel::VictimIndex victimIndex_;
   std::vector<Claim> claims_;
+  /// Claim-fence caches; claims_ mutations set claimsDirty_.
+  mutable sim::ProcSet claimedSetCache_;
+  mutable std::uint32_t claimedCountCache_ = 0;
+  mutable bool claimsDirty_ = true;
+  /// Tick-gate cache: while SimTransitions still equals gateStamp_ and
+  /// now < gateSkipUntil_, the last gate verdict (skip) still holds.
+  std::uint64_t gateStamp_ = ~std::uint64_t{0};
+  Time gateSkipUntil_ = kNoTime;
+  /// Gate-sweep carryover into the pass: idle candidates at or above the
+  /// SF threshold as (priority, id), unsorted until the pass sorts them.
+  std::vector<std::pair<double, JobId>> tickPrefix_;
+  /// Earliest time a below-threshold candidate can cross SF x minPriority
+  /// (from the gate sweep) / earliest time any examined candidate's failed
+  /// arm can go live via an SF-boundary crossing (from a no-op pass). Their
+  /// min extends gateSkipUntil_ past passes that ran but did nothing.
+  Time sweepHorizon_ = kNoTime;
+  Time passHorizon_ = kNoTime;
+  /// Pass scratch, reused across ticks to avoid per-pass allocation.
+  std::vector<JobId> occupantsScratch_;
+  std::vector<JobId> victimsScratch_;
+  std::vector<std::uint64_t> seenStamp_;  ///< occupant dedup, per job
+  std::uint64_t seenGen_ = 0;
   bool tickArmed_ = false;
   std::uint64_t preemptions_ = 0;
   /// Online-TSS state: running average slowdown of completed jobs per

@@ -1,6 +1,102 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace sps::sim {
+
+void CalendarEventQueue::push(const Event& e) {
+  ++size_;
+  const std::uint64_t ab = bucketOf(e.time);
+  if (ab >= farStart_) {
+    far_.push_back(e);
+    ++farCount_;
+    if (!curSorted_) settle();  // queue may have been empty
+    return;
+  }
+  if (ab <= cur_ && curSorted_) {
+    // Into the live cursor bucket (or logically before it — a push at or
+    // below the consumed horizon): binary-insert into the unconsumed
+    // suffix, which keeps it the global minimum region.
+    auto& bucket = ring_[cur_ % kBuckets];
+    const auto it =
+        std::lower_bound(bucket.begin() + static_cast<std::ptrdiff_t>(curPos_),
+                         bucket.end(), e, earlier);
+    bucket.insert(it, e);
+    return;
+  }
+  ring_[(ab <= cur_ ? cur_ : ab) % kBuckets].push_back(e);
+  if (!curSorted_) settle();
+}
+
+Event CalendarEventQueue::pop() {
+  auto& bucket = ring_[cur_ % kBuckets];
+  const Event e = bucket[curPos_++];
+  --size_;
+  settle();
+  return e;
+}
+
+void CalendarEventQueue::settle() {
+  if (size_ == 0) {
+    // Canonical empty state: without this, a pop that drains the queue
+    // would leave curSorted_ set over a fully-consumed bucket, and the
+    // next push into a future bucket would skip settling — nextTime()/pop()
+    // would then read past the consumed prefix.
+    ring_[cur_ % kBuckets].clear();
+    curPos_ = 0;
+    curSorted_ = false;
+    return;
+  }
+  while (size_ > 0) {
+    auto& bucket = ring_[cur_ % kBuckets];
+    if (curSorted_) {
+      if (curPos_ < bucket.size()) return;  // settled: live sorted bucket
+      bucket.clear();
+      curPos_ = 0;
+      curSorted_ = false;
+      ++cur_;
+      if (cur_ == farStart_) rebase();
+      continue;
+    }
+    if (size_ == farCount_) {
+      // Ring is empty; jump the cursor straight to the overflow window.
+      cur_ = farStart_;
+      rebase();
+      continue;
+    }
+    if (bucket.empty()) {
+      ++cur_;
+      if (cur_ == farStart_) rebase();
+      continue;
+    }
+    std::sort(bucket.begin(), bucket.end(), earlier);
+    curPos_ = 0;
+    curSorted_ = true;
+  }
+}
+
+void CalendarEventQueue::rebase() {
+  // Reached only with the ring fully exhausted (the cursor crossed
+  // farStart_), so the window can move wholesale without aliasing.
+  if (far_.empty()) {
+    farStart_ = cur_ + kBuckets;
+    return;
+  }
+  std::uint64_t minBucket = bucketOf(far_.front().time);
+  for (const Event& e : far_) minBucket = std::min(minBucket, bucketOf(e.time));
+  if (minBucket > cur_) cur_ = minBucket;  // skip the empty stretch
+  farStart_ = cur_ + kBuckets;
+  std::size_t keep = 0;
+  for (const Event& e : far_) {
+    const std::uint64_t ab = bucketOf(e.time);
+    if (ab < farStart_)
+      ring_[ab % kBuckets].push_back(e);
+    else
+      far_[keep++] = e;
+  }
+  far_.resize(keep);
+  farCount_ = keep;
+}
 
 void EventQueue::push(Time time, EventType type, std::uint64_t payload,
                       std::uint64_t generation) {
@@ -10,19 +106,20 @@ void EventQueue::push(Time time, EventType type, std::uint64_t payload,
   e.type = type;
   e.payload = payload;
   e.generation = generation;
-  heap_.push(e);
+  if (kind_ == QueueKind::Calendar)
+    calendar_.push(e);
+  else
+    heap_.push(e);
 }
 
 Time EventQueue::nextTime() const {
-  SPS_CHECK_MSG(!heap_.empty(), "nextTime() on empty queue");
-  return heap_.top().time;
+  SPS_CHECK_MSG(!empty(), "nextTime() on empty queue");
+  return kind_ == QueueKind::Calendar ? calendar_.nextTime() : heap_.nextTime();
 }
 
 Event EventQueue::pop() {
-  SPS_CHECK_MSG(!heap_.empty(), "pop() on empty queue");
-  Event e = heap_.top();
-  heap_.pop();
-  return e;
+  SPS_CHECK_MSG(!empty(), "pop() on empty queue");
+  return kind_ == QueueKind::Calendar ? calendar_.pop() : heap_.pop();
 }
 
 }  // namespace sps::sim

@@ -1,14 +1,29 @@
 // EventQueue — the discrete-event core's pending-event set.
 //
-// A binary min-heap ordered by (time, sequence). The sequence number makes
-// ordering total and deterministic: two events at the same instant fire in
-// the order they were scheduled, so simulations replay bit-identically.
+// Two interchangeable implementations behind one façade, selected by
+// QueueKind:
+//
+//  * BinaryHeap — the original std::priority_queue ordered by
+//    (time, sequence). O(log n) per operation, kept as the reference
+//    implementation and pinned against the calendar queue by the
+//    event-queue property suite and the differential fuzzer.
+//  * Calendar — a calendar/ladder queue tuned to the workload's shape:
+//    minute-granularity preemption ticks plus arrival/completion events
+//    spread over a bounded horizon. Events hash into fixed-width time
+//    buckets; only the bucket under the cursor is ever sorted, so the
+//    common push/pop pair is O(1) amortized.
+//
+// Both orders are the same total order (time, then insertion sequence), so
+// simulations replay bit-identically regardless of the queue kind. The
+// sequence number makes ordering total and deterministic: two events at the
+// same instant fire in the order they were scheduled.
 //
 // Completions cancelled by preemption are handled by the *simulator* with
 // generation counters (stale events are popped and ignored), so the queue
 // itself needs no removal support.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -33,19 +48,20 @@ struct Event {
   std::uint64_t generation = 0;  ///< completion-validity counter
 };
 
-class EventQueue {
- public:
-  void push(Time time, EventType type, std::uint64_t payload,
-            std::uint64_t generation = 0);
+enum class QueueKind : std::uint8_t { Calendar, BinaryHeap };
 
+/// Reference implementation: binary min-heap over (time, seq).
+class BinaryHeapEventQueue {
+ public:
+  void push(const Event& e) { heap_.push(e); }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
-
-  /// Earliest event's time; requires non-empty.
-  [[nodiscard]] Time nextTime() const;
-
-  /// Remove and return the earliest event; requires non-empty.
-  Event pop();
+  [[nodiscard]] Time nextTime() const { return heap_.top().time; }
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
 
  private:
   struct Later {
@@ -55,6 +71,91 @@ class EventQueue {
     }
   };
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+/// Calendar queue: a ring of fixed-width time buckets plus an overflow list
+/// for events beyond the ring's window.
+///
+/// Invariants between operations ("settled" state):
+///  * the ring covers absolute buckets [cur_, farStart_), with
+///    farStart_ - cur_ <= kBuckets, so slots never alias;
+///  * far_ holds every event whose bucket is >= farStart_;
+///  * if the queue is non-empty, the cursor bucket is sorted by (time, seq)
+///    and has unconsumed events at [curPos_, size), so nextTime() is O(1).
+///
+/// Pushes at or before the cursor bucket (same-timestamp cascades, which
+/// the simulator produces constantly) binary-insert into the unconsumed
+/// suffix; future in-window pushes append unsorted and are sorted only when
+/// the cursor reaches them; far pushes go to the overflow list, which is
+/// redistributed when the cursor crosses farStart_.
+class CalendarEventQueue {
+ public:
+  void push(const Event& e);
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] Time nextTime() const {
+    return ring_[cur_ % kBuckets][curPos_].time;
+  }
+  Event pop();
+
+ private:
+  // 64-second buckets sit just above the minute-granularity preemption tick,
+  // and 2048 of them give a ~36-hour window — wider than the arrival→
+  // completion horizon of almost every job in the traces, so overflow
+  // redistribution is rare.
+  static constexpr std::uint64_t kBucketWidth = 64;
+  static constexpr std::uint64_t kBuckets = 2048;
+
+  static std::uint64_t bucketOf(Time t) {
+    return t <= 0 ? 0 : static_cast<std::uint64_t>(t) / kBucketWidth;
+  }
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Re-establish the settled invariant after a push or pop.
+  void settle();
+  /// Advance the window: move far_ events now in range into the ring.
+  void rebase();
+
+  std::array<std::vector<Event>, kBuckets> ring_;
+  std::vector<Event> far_;        ///< events in buckets >= farStart_
+  std::uint64_t cur_ = 0;         ///< absolute bucket under the cursor
+  std::uint64_t farStart_ = kBuckets;  ///< ring covers [cur_, farStart_)
+  std::size_t curPos_ = 0;        ///< consumed prefix of the cursor bucket
+  bool curSorted_ = false;        ///< cursor bucket sorted and live
+  std::size_t size_ = 0;
+  std::size_t farCount_ = 0;      ///< == far_.size(); ring holds the rest
+};
+
+/// The façade the simulator uses. Assigns sequence numbers and dispatches
+/// to the selected implementation.
+class EventQueue {
+ public:
+  explicit EventQueue(QueueKind kind = QueueKind::Calendar) : kind_(kind) {}
+
+  void push(Time time, EventType type, std::uint64_t payload,
+            std::uint64_t generation = 0);
+
+  [[nodiscard]] QueueKind kind() const { return kind_; }
+  [[nodiscard]] bool empty() const {
+    return kind_ == QueueKind::Calendar ? calendar_.empty() : heap_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return kind_ == QueueKind::Calendar ? calendar_.size() : heap_.size();
+  }
+
+  /// Earliest event's time; requires non-empty.
+  [[nodiscard]] Time nextTime() const;
+
+  /// Remove and return the earliest event; requires non-empty.
+  Event pop();
+
+ private:
+  QueueKind kind_;
+  CalendarEventQueue calendar_;
+  BinaryHeapEventQueue heap_;
   std::uint64_t nextSeq_ = 0;
 };
 

@@ -63,7 +63,10 @@ Simulator::Simulator(const workload::Trace& trace, SchedulingPolicy& policy,
       policy_(policy),
       config_(config),
       machine_(trace.machineProcs),
+      events_(config.queueKind),
       exec_(trace.jobs.size()),
+      states_(trace.jobs.size(), JobState::NotArrived),
+      owedRef_(trace.machineProcs, 0),
       listPos_(trace.jobs.size(), 0) {
   if (config.recorder != nullptr) obs_ = config.recorder;
   workload::validateTrace(trace_);
@@ -121,8 +124,8 @@ void Simulator::run() {
 
 void Simulator::handleArrival(JobId id) {
   JobExec& x = exec_[id];
-  SPS_CHECK(x.state == JobState::NotArrived);
-  x.state = JobState::Queued;
+  SPS_CHECK(states_[id] == JobState::NotArrived);
+  states_[id] = JobState::Queued;
   x.remainingWork = job(id).runtime;
   x.waitSince = now_;
   addTo(queued_, id);
@@ -134,11 +137,11 @@ void Simulator::handleArrival(JobId id) {
 void Simulator::handleCompletion(JobId id, std::uint64_t generation) {
   JobExec& x = exec_[id];
   if (generation != x.completionGen) return;  // cancelled by a suspension
-  SPS_CHECK_MSG(x.state == JobState::Running,
+  SPS_CHECK_MSG(states_[id] == JobState::Running,
                 "completion of job " << id << " in state "
-                                     << jobStateName(x.state));
+                                     << jobStateName(states_[id]));
   machine_.release(x.procs, now_);
-  x.state = JobState::Finished;
+  states_[id] = JobState::Finished;
   x.remainingWork = 0;
   x.finish = now_;
   x.resumeOverheadElapsed += x.segOverhead;
@@ -153,21 +156,23 @@ void Simulator::handleCompletion(JobId id, std::uint64_t generation) {
 
 void Simulator::handleSuspendDrained(JobId id) {
   JobExec& x = exec_[id];
-  SPS_CHECK(x.state == JobState::Suspending);
+  SPS_CHECK(states_[id] == JobState::Suspending);
   machine_.release(x.procs, now_);
-  x.state = JobState::Suspended;
+  states_[id] = JobState::Suspended;
+  draining_ -= x.procs;
+  owedAdd(x.procs);
   notifyStateChange(id, JobState::Suspending, JobState::Suspended);
   policy_.onSuspendDrained(*this, id);
 }
 
 void Simulator::beginSegment(JobId id) {
   JobExec& x = exec_[id];
-  const JobState from = x.state;
+  const JobState from = states_[id];
   // Close the wait period.
   SPS_CHECK(x.waitSince != kNoTime);
   x.accumWait += now_ - x.waitSince;
   x.waitSince = kNoTime;
-  x.state = JobState::Running;
+  states_[id] = JobState::Running;
   x.segStart = now_;
   x.segOverhead = 0;
   if (x.suspendCount > 0 && config_.overhead != nullptr) {
@@ -183,8 +188,9 @@ void Simulator::beginSegment(JobId id) {
 
 void Simulator::startJob(JobId id) {
   JobExec& x = exec_[id];
-  SPS_CHECK_MSG(x.state == JobState::Queued,
-                "startJob(" << id << ") in state " << jobStateName(x.state));
+  SPS_CHECK_MSG(states_[id] == JobState::Queued,
+                "startJob(" << id << ") in state "
+                            << jobStateName(states_[id]));
   SPS_CHECK_MSG(x.suspendCount == 0,
                 "startJob(" << id << ") on a previously-suspended job; use "
                                "resumeJob");
@@ -200,9 +206,9 @@ void Simulator::startJob(JobId id) {
 
 void Simulator::startJobAvoiding(JobId id, const ProcSet& avoid) {
   JobExec& x = exec_[id];
-  SPS_CHECK_MSG(x.state == JobState::Queued,
+  SPS_CHECK_MSG(states_[id] == JobState::Queued,
                 "startJobAvoiding(" << id << ") in state "
-                                    << jobStateName(x.state));
+                                    << jobStateName(states_[id]));
   SPS_CHECK_MSG(x.suspendCount == 0,
                 "startJobAvoiding(" << id << ") on a previously-suspended "
                                        "job; use resumeJob");
@@ -215,9 +221,9 @@ void Simulator::startJobAvoiding(JobId id, const ProcSet& avoid) {
 void Simulator::startJobPreferring(JobId id, const ProcSet& softAvoid,
                                    const ProcSet& hardAvoid) {
   JobExec& x = exec_[id];
-  SPS_CHECK_MSG(x.state == JobState::Queued,
+  SPS_CHECK_MSG(states_[id] == JobState::Queued,
                 "startJobPreferring(" << id << ") in state "
-                                      << jobStateName(x.state));
+                                      << jobStateName(states_[id]));
   SPS_CHECK_MSG(x.suspendCount == 0,
                 "startJobPreferring(" << id << ") on a previously-suspended "
                                          "job; use resumeJob");
@@ -237,18 +243,21 @@ void Simulator::startJobPreferring(JobId id, const ProcSet& softAvoid,
 
 void Simulator::resumeJob(JobId id) {
   JobExec& x = exec_[id];
-  SPS_CHECK_MSG(x.state == JobState::Suspended,
-                "resumeJob(" << id << ") in state " << jobStateName(x.state));
+  SPS_CHECK_MSG(states_[id] == JobState::Suspended,
+                "resumeJob(" << id << ") in state "
+                             << jobStateName(states_[id]));
   machine_.allocateExact(x.procs, now_);
+  owedRemove(x.procs);
   removeFrom(suspended_, id);
   beginSegment(id);
 }
 
 void Simulator::resumeJobMigrating(JobId id, const ProcSet& avoid) {
   JobExec& x = exec_[id];
-  SPS_CHECK_MSG(x.state == JobState::Suspended,
+  SPS_CHECK_MSG(states_[id] == JobState::Suspended,
                 "resumeJobMigrating(" << id << ") in state "
-                                      << jobStateName(x.state));
+                                      << jobStateName(states_[id]));
+  owedRemove(x.procs);  // before the saved set is replaced below
   x.procs = machine_.allocateAvoiding(job(id).procs, avoid, now_);
   removeFrom(suspended_, id);
   beginSegment(id);
@@ -256,8 +265,9 @@ void Simulator::resumeJobMigrating(JobId id, const ProcSet& avoid) {
 
 void Simulator::suspendJob(JobId id) {
   JobExec& x = exec_[id];
-  SPS_CHECK_MSG(x.state == JobState::Running,
-                "suspendJob(" << id << ") in state " << jobStateName(x.state));
+  SPS_CHECK_MSG(states_[id] == JobState::Running,
+                "suspendJob(" << id << ") in state "
+                              << jobStateName(states_[id]));
   // Work completed in the current segment (the read-back overhead at the
   // front of the segment does no useful work).
   const Time elapsed = now_ - x.segStart;
@@ -279,12 +289,14 @@ void Simulator::suspendJob(JobId id) {
     x.drainOverhead += drain;
   }
   if (drain > 0) {
-    x.state = JobState::Suspending;
+    states_[id] = JobState::Suspending;
+    draining_ |= x.procs;
     events_.push(now_ + drain, EventType::SuspendDrained, id);
     notifyStateChange(id, JobState::Running, JobState::Suspending);
   } else {
-    x.state = JobState::Suspended;
+    states_[id] = JobState::Suspended;
     machine_.release(x.procs, now_);
+    owedAdd(x.procs);
     notifyStateChange(id, JobState::Running, JobState::Suspended);
   }
 }
@@ -324,17 +336,10 @@ void Simulator::scheduleTimer(Time when, std::uint64_t tag) {
   events_.push(when, EventType::Timer, tag);
 }
 
-Time Simulator::accumulatedWait(JobId id) const {
-  const JobExec& x = exec_[id];
-  Time wait = x.accumWait;
-  if (x.waitSince != kNoTime) wait += now_ - x.waitSince;
-  return wait;
-}
-
 Time Simulator::accumulatedRun(JobId id) const {
   const JobExec& x = exec_[id];
   Time done = job(id).runtime - x.remainingWork;
-  if (x.state == JobState::Running) {
+  if (states_[id] == JobState::Running) {
     // remainingWork is only decremented at suspension; subtract the current
     // segment's progress explicitly.
     const Time elapsed = now_ - x.segStart;
@@ -343,12 +348,6 @@ Time Simulator::accumulatedRun(JobId id) const {
     done = job(id).runtime - x.remainingWork + segDone;
   }
   return done;
-}
-
-double Simulator::xfactor(JobId id) const {
-  const auto est = static_cast<double>(job(id).estimate);
-  SPS_CHECK(est > 0.0);
-  return (static_cast<double>(accumulatedWait(id)) + est) / est;
 }
 
 double Simulator::instantaneousXfactor(JobId id) const {
@@ -360,6 +359,19 @@ double Simulator::instantaneousXfactor(JobId id) const {
 void Simulator::addTo(std::vector<JobId>& list, JobId id) {
   listPos_[id] = list.size();
   list.push_back(id);
+}
+
+void Simulator::owedAdd(const ProcSet& procs) {
+  procs.forEach([this](std::uint32_t p) {
+    if (owedRef_[p]++ == 0) suspendedOwed_.insert(p);
+  });
+}
+
+void Simulator::owedRemove(const ProcSet& procs) {
+  procs.forEach([this](std::uint32_t p) {
+    SPS_DCHECK(owedRef_[p] > 0);
+    if (--owedRef_[p] == 0) suspendedOwed_.erase(p);
+  });
 }
 
 void Simulator::removeFrom(std::vector<JobId>& list, JobId id) {
@@ -375,11 +387,13 @@ void Simulator::removeFrom(std::vector<JobId>& list, JobId id) {
 
 void Simulator::auditState() const {
   ProcSet busy;
+  ProcSet owed;
+  ProcSet draining;
   std::uint32_t busyCount = 0;
   std::size_t nQueued = 0, nRunning = 0, nSusp = 0;
   for (JobId id = 0; id < exec_.size(); ++id) {
     const JobExec& x = exec_[id];
-    switch (x.state) {
+    switch (states_[id]) {
       case JobState::Running:
       case JobState::Suspending: {
         SPS_CHECK_MSG(!busy.intersects(x.procs),
@@ -388,13 +402,18 @@ void Simulator::auditState() const {
                       "job " << id << " holds wrong processor count");
         busy |= x.procs;
         busyCount += x.procs.count();
-        if (x.state == JobState::Running) ++nRunning;
-        else ++nSusp;
+        if (states_[id] == JobState::Running) {
+          ++nRunning;
+        } else {
+          draining |= x.procs;
+          ++nSusp;
+        }
         break;
       }
       case JobState::Suspended:
         SPS_CHECK_MSG(x.procs.count() == job(id).procs,
                       "suspended job " << id << " lost its processor set");
+        owed |= x.procs;
         ++nSusp;
         break;
       case JobState::Queued:
@@ -405,6 +424,14 @@ void Simulator::auditState() const {
         break;
     }
   }
+  SPS_CHECK_MSG(owed == suspendedOwed_,
+                "suspended-owed aggregate drifted: recomputed "
+                    << owed.toString() << " vs maintained "
+                    << suspendedOwed_.toString());
+  SPS_CHECK_MSG(draining == draining_,
+                "draining aggregate drifted: recomputed "
+                    << draining.toString() << " vs maintained "
+                    << draining_.toString());
   SPS_CHECK_MSG(!busy.intersects(machine_.freeSet()),
                 "free set overlaps busy processors");
   SPS_CHECK_MSG(busyCount + machine_.freeCount() == machine_.totalProcs(),

@@ -38,8 +38,13 @@ enum class JobState : std::uint8_t {
 
 /// Dynamic execution state of one job. Readable by policies and by the
 /// metrics layer after the run.
+///
+/// The job's lifecycle state itself lives in a dense side array inside the
+/// Simulator (SoA layout: one byte per job, read via Simulator::state()).
+/// The hot paths — index reconciliation, skip-on-stale walks, dispatch
+/// scans — touch only the state byte of many jobs at once, and keeping
+/// those reads out of this ~200-byte record keeps them in cache.
 struct JobExec {
-  JobState state = JobState::NotArrived;
   /// Processors currently held (Running/Suspending) or to reclaim
   /// (Suspended). Empty before first start.
   ProcSet procs;
@@ -142,6 +147,11 @@ class Simulator {
     /// sink wiring alive after the simulator is destroyed (core::Runner
     /// harvests through metrics::collect either way).
     obs::Recorder* recorder = nullptr;
+    /// Pending-event structure. Calendar (the default) and BinaryHeap pop
+    /// the identical (time, seq) order, so schedules are bit-identical
+    /// either way; the golden suite and the fuzzer pin one mode to each
+    /// kind to keep that claim continuously tested.
+    QueueKind queueKind = QueueKind::Calendar;
   };
 
   /// The trace must satisfy validateTrace(). The policy and trace must
@@ -162,6 +172,8 @@ class Simulator {
     return trace_.jobs[id];
   }
   [[nodiscard]] const JobExec& exec(JobId id) const { return exec_[id]; }
+  /// Lifecycle state, from the dense SoA side array (see JobExec).
+  [[nodiscard]] JobState state(JobId id) const { return states_[id]; }
   [[nodiscard]] const Machine& machine() const { return machine_; }
   [[nodiscard]] std::uint32_t freeCount() const { return machine_.freeCount(); }
   [[nodiscard]] const ProcSet& freeSet() const { return machine_.freeSet(); }
@@ -190,6 +202,24 @@ class Simulator {
   [[nodiscard]] double queuedProcEstimateSeconds() const {
     return queuedWork_;
   }
+
+  // --- maintained processor aggregates -----------------------------------
+  // O(1) reads for the fence sets every preemptive policy needs each pass.
+  // Maintained at the state transitions themselves (two ProcSet updates per
+  // suspension lifetime) and audited against a full recompute by
+  // auditState(), so policies no longer rescan the suspended list.
+
+  /// Union of processors owed to fully-drained Suspended jobs (their saved
+  /// sets, which local preemption must eventually return to them). Owed
+  /// sets can overlap — a job may start on processors another suspended job
+  /// is owed and then be suspended itself — so membership is refcounted.
+  [[nodiscard]] const ProcSet& suspendedOwedSet() const {
+    return suspendedOwed_;
+  }
+
+  /// Union of processors still held by Suspending jobs (write-out in
+  /// flight). Disjoint by construction: the machine holds them busy.
+  [[nodiscard]] const ProcSet& drainingSet() const { return draining_; }
 
   // --- policy actions ----------------------------------------------------
   /// Start a queued job that has never been suspended, on the lowest-
@@ -226,13 +256,24 @@ class Simulator {
   void scheduleTimer(Time when, std::uint64_t tag);
 
   // --- derived per-job quantities ----------------------------------------
-  /// Wait accrued so far: frozen while running (Section IV-A).
-  [[nodiscard]] Time accumulatedWait(JobId id) const;
+  /// Wait accrued so far: frozen while running (Section IV-A). Inline:
+  /// priority-index rebuilds and the preemption tick gate evaluate this for
+  /// every idle job at every decision point.
+  [[nodiscard]] Time accumulatedWait(JobId id) const {
+    const JobExec& x = exec_[id];
+    Time wait = x.accumWait;
+    if (x.waitSince != kNoTime) wait += now_ - x.waitSince;
+    return wait;
+  }
   /// Compute completed so far (excludes overhead phases).
   [[nodiscard]] Time accumulatedRun(JobId id) const;
   /// Expansion factor, Eq. 2: (wait + estimate) / estimate, on the user
-  /// estimate. This is the SS suspension priority.
-  [[nodiscard]] double xfactor(JobId id) const;
+  /// estimate. This is the SS suspension priority. Estimates are validated
+  /// positive at construction (workload::validateTrace).
+  [[nodiscard]] double xfactor(JobId id) const {
+    const auto est = static_cast<double>(job(id).estimate);
+    return (static_cast<double>(accumulatedWait(id)) + est) / est;
+  }
   /// Chiang-Vernon instantaneous xfactor: (wait + run) / run on accumulated
   /// run time; +infinity for a job that has not computed yet.
   [[nodiscard]] double instantaneousXfactor(JobId id) const;
@@ -285,6 +326,8 @@ class Simulator {
   void notifyStateChange(JobId id, JobState from, JobState to);
   void addTo(std::vector<JobId>& list, JobId id);
   void removeFrom(std::vector<JobId>& list, JobId id);
+  void owedAdd(const ProcSet& procs);
+  void owedRemove(const ProcSet& procs);
   [[nodiscard]] double queuedWorkOf(JobId id) const {
     const workload::Job& j = job(id);
     return static_cast<double>(j.procs) * static_cast<double>(j.estimate);
@@ -296,10 +339,15 @@ class Simulator {
   Machine machine_;
   EventQueue events_;
   std::vector<JobExec> exec_;
+  /// SoA: per-job lifecycle state, one byte per job (see JobExec).
+  std::vector<JobState> states_;
   std::vector<JobId> queued_;
   double queuedWork_ = 0.0;  ///< procs x estimate summed over queued_
   std::vector<JobId> running_;
   std::vector<JobId> suspended_;
+  ProcSet suspendedOwed_;   ///< refcounted union of Suspended saved sets
+  ProcSet draining_;        ///< union of Suspending (write-out) holdings
+  std::vector<std::uint16_t> owedRef_;  ///< per-proc owners in suspendedOwed_
   /// Position of each job in whichever of the three lists holds it (a job
   /// is in at most one at a time). Lets removeFrom swap-and-pop in O(1) —
   /// which is why the lists are documented as unordered.

@@ -89,7 +89,7 @@ class ScriptedPolicy final : public sim::SchedulingPolicy {
       std::vector<JobId> susp(s.suspendedJobs());
       std::sort(susp.begin(), susp.end());
       for (JobId id : susp) {
-        if (s.exec(id).state == sim::JobState::Suspended &&
+        if (s.state(id) == sim::JobState::Suspended &&
             s.exec(id).procs.isSubsetOf(s.freeSet())) {
           s.resumeJob(id);
           progress = true;

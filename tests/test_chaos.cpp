@@ -49,7 +49,7 @@ class ChaosPolicy final : public sim::SchedulingPolicy {
     // Random resumes.
     std::vector<JobId> suspended(s.suspendedJobs());
     for (JobId id : suspended) {
-      if (s.exec(id).state != sim::JobState::Suspended) continue;
+      if (s.state(id) != sim::JobState::Suspended) continue;
       if (!rng_.bernoulli(0.5)) continue;
       if (allowMigration_ && rng_.bernoulli(0.5)) {
         if (s.freeCount() >= s.job(id).procs)
@@ -74,10 +74,10 @@ class ChaosPolicy final : public sim::SchedulingPolicy {
     if (!s.runningJobs().empty()) return;
     bool draining = false;
     for (JobId id : s.suspendedJobs())
-      draining |= s.exec(id).state == sim::JobState::Suspending;
+      draining |= s.state(id) == sim::JobState::Suspending;
     if (draining) return;
     for (JobId id : std::vector<JobId>(s.suspendedJobs())) {
-      if (s.exec(id).state == sim::JobState::Suspended &&
+      if (s.state(id) == sim::JobState::Suspended &&
           s.exec(id).procs.isSubsetOf(s.freeSet())) {
         s.resumeJob(id);
         return;
@@ -92,7 +92,7 @@ class ChaosPolicy final : public sim::SchedulingPolicy {
     // Everything left is suspended with occupied processors — impossible
     // here because nothing is running; free the logjam by migrating.
     for (JobId id : std::vector<JobId>(s.suspendedJobs())) {
-      if (s.exec(id).state == sim::JobState::Suspended &&
+      if (s.state(id) == sim::JobState::Suspended &&
           s.job(id).procs <= s.freeCount()) {
         s.resumeJobMigrating(id, sim::ProcSet{});
         return;
@@ -143,7 +143,7 @@ TEST_P(ChaosFuzz, KernelInvariantsSurviveRandomActions) {
 
   for (const auto& j : trace.jobs) {
     const auto& x = s.exec(j.id);
-    EXPECT_EQ(x.state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(j.id), sim::JobState::Finished);
     EXPECT_EQ(x.remainingWork, 0);
     EXPECT_GE(x.finish, j.submit + j.runtime);
     EXPECT_EQ(s.accumulatedWait(j.id) + j.runtime + x.resumeOverheadElapsed,

@@ -111,7 +111,7 @@ TEST(DepthBF, GuaranteesNeverRegress) {
   sim::Simulator s(trace, policy);
   s.run();
   for (JobId i = 0; i < jobs.size(); ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
 }
 
 TEST(DepthBF, InterpolatesBetweenExtremes) {

@@ -80,7 +80,7 @@ TEST(Migration, SuspendedJobRestartsOnDifferentProcessors) {
   sim::Simulator s(trace, policy);
   s.run();
   for (JobId i = 0; i < 3; ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
 }
 
 TEST(Migration, NeverWorseCompletionThanLocalOnCongestedTrace) {
@@ -110,7 +110,7 @@ TEST(Migration, AllInvariantsHoldUnderMigration) {
   s.run();
   s.auditState();
   for (JobId i = 0; i < jobs.size(); ++i) {
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
     EXPECT_EQ(s.exec(i).remainingWork, 0);
   }
 }

@@ -86,7 +86,7 @@ TEST(Gang, ShortJobGetsServiceDespiteLongRunner) {
   sim::Simulator s(trace, policy);
   s.run();
   EXPECT_LE(s.exec(1).firstStart, 700);
-  EXPECT_EQ(s.exec(1).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(1), sim::JobState::Finished);
 }
 
 TEST(Gang, MatrixOverflowQueuesFifo) {
@@ -100,7 +100,7 @@ TEST(Gang, MatrixOverflowQueuesFifo) {
   // Job 2 cannot start until job 0 or 1 completes (~2400 s wall-clock
   // because the first two share the machine).
   EXPECT_GE(s.exec(2).firstStart, 1200);
-  EXPECT_EQ(s.exec(2).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(2), sim::JobState::Finished);
 }
 
 TEST(Gang, RuntimeDilationScalesWithSlots) {
@@ -143,7 +143,7 @@ TEST(Gang, WithOverheadSwitchesPayTheSweep) {
   EXPECT_GT(s.exec(0).overheadTotal() + s.exec(1).overheadTotal(), 0);
   EXPECT_GE(std::max(s.exec(0).finish, s.exec(1).finish), 3600 + 60);
   for (JobId i = 0; i < 2; ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
 }
 
 TEST(Gang, BusyStreamCompletesAndAudits) {
@@ -157,7 +157,7 @@ TEST(Gang, BusyStreamCompletesAndAudits) {
   s.run();
   s.auditState();
   for (JobId i = 0; i < jobs.size(); ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
 }
 
 TEST(Gang, QuantumNotPostponedByArrivals) {

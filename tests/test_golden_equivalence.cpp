@@ -39,21 +39,19 @@ struct Schedule {
   std::vector<std::uint32_t> suspendCount;
 };
 
-core::PolicySpec withMode(core::PolicySpec spec, KernelMode mode) {
-  spec.conservative.kernelMode = mode;
-  spec.easy.kernelMode = mode;
-  spec.depth.kernelMode = mode;
-  spec.ss.kernelMode = mode;
-  spec.is.kernelMode = mode;
-  return spec;
-}
+using sched::withKernelMode;
 
 Schedule runSchedule(const workload::Trace& trace,
-                     const core::PolicySpec& spec,
+                     const core::PolicySpec& spec, KernelMode mode,
                      const sim::OverheadPolicy* overhead) {
-  const auto policy = core::makePolicy(spec);
+  const auto policy = core::makePolicy(withKernelMode(spec, mode));
   sim::Simulator::Config config;
   config.overhead = overhead;
+  // Cross the queue implementations with the kernel modes so equivalence
+  // pins both redesigned layers at once: the rebuild reference runs on the
+  // binary heap, the incremental kernel on the calendar queue.
+  config.queueKind = mode == KernelMode::Rebuild ? sim::QueueKind::BinaryHeap
+                                                 : sim::QueueKind::Calendar;
   sim::Simulator simulator(trace, *policy, config);
   Schedule schedule;
   simulator.observers().onStateChange(
@@ -160,10 +158,10 @@ TEST_P(GoldenEquivalence, IncrementalMatchesRebuild) {
       for (const sim::OverheadPolicy* overhead :
            {static_cast<const sim::OverheadPolicy*>(nullptr),
             static_cast<const sim::OverheadPolicy*>(&swap)}) {
-        const Schedule inc = runSchedule(
-            trace, withMode(spec, KernelMode::Incremental), overhead);
+        const Schedule inc =
+            runSchedule(trace, spec, KernelMode::Incremental, overhead);
         const Schedule reb =
-            runSchedule(trace, withMode(spec, KernelMode::Rebuild), overhead);
+            runSchedule(trace, spec, KernelMode::Rebuild, overhead);
         std::ostringstream context;
         context << label << " on " << traceKind << "/" << jobCount
                 << (inaccurate ? " modal-estimates" : " exact-estimates")
@@ -194,7 +192,7 @@ TEST(GoldenEquivalenceEdge, DeferredStartAtAnchorEqualsNow) {
   for (const KernelMode mode : {KernelMode::Incremental, KernelMode::Rebuild}) {
     core::PolicySpec spec;
     spec.kind = core::PolicyKind::Conservative;
-    const Schedule s = runSchedule(trace, withMode(spec, mode), nullptr);
+    const Schedule s = runSchedule(trace, spec, mode, nullptr);
     EXPECT_EQ(s.firstStart[0], 0);
     EXPECT_EQ(s.firstStart[1], 0);
     EXPECT_EQ(s.firstStart[2], 10) << "mode " << static_cast<int>(mode);
@@ -211,7 +209,7 @@ TEST(PerfSmokeSweep, AllPoliciesCompleteWithSaneStats) {
     for (const KernelMode mode :
          {KernelMode::Incremental, KernelMode::Rebuild}) {
       const metrics::RunStats stats =
-          core::runSimulation(trace, withMode(spec, mode));
+          core::runSimulation(trace, withKernelMode(spec, mode));
       EXPECT_EQ(stats.jobs.size(), trace.jobs.size()) << label;
       EXPECT_GT(stats.utilization, 0.0) << label;
       EXPECT_LE(stats.utilization, 1.0) << label;

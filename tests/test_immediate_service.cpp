@@ -29,7 +29,7 @@ TEST(IS, ArrivalPreemptsToGetItsTimeslice) {
   s.run();
   EXPECT_EQ(s.exec(1).firstStart, 1000);  // immediate service
   EXPECT_GE(s.exec(0).suspendCount, 1u);
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
 }
 
 TEST(IS, VictimInFirstQuantumIsProtected) {
@@ -42,7 +42,7 @@ TEST(IS, VictimInFirstQuantumIsProtected) {
   s.run();
   EXPECT_EQ(s.exec(1).firstStart, 600);   // not a second earlier
   EXPECT_EQ(s.exec(0).suspendCount, 1u);  // exactly the quantum suspension
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
 }
 
 TEST(IS, VictimChosenByLowestInstantaneousXfactor) {
@@ -63,7 +63,7 @@ TEST(IS, VictimChosenByLowestInstantaneousXfactor) {
   // key assertions are conservation and that the short job got service.
   EXPECT_EQ(s.exec(2).firstStart, 12000);
   for (JobId i = 0; i < 3; ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
 }
 
 TEST(IS, QuantumExpirySuspendsUnderContention) {
@@ -76,8 +76,8 @@ TEST(IS, QuantumExpirySuspendsUnderContention) {
   EXPECT_GE(s.exec(0).suspendCount, 1u);
   // Job 1 got the machine shortly after job 0's quantum.
   EXPECT_LE(s.exec(1).firstStart, 700);
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
-  EXPECT_EQ(s.exec(1).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
+  EXPECT_EQ(s.state(1), sim::JobState::Finished);
 }
 
 TEST(IS, NoContentionMeansNoQuantumSuspension) {
@@ -106,7 +106,7 @@ TEST(IS, WideJobEventuallyServedViaRetry) {
   const auto trace = makeTrace(8, {{0, 4000, 4}, {10, 60, 8}});
   sim::Simulator s(trace, policy);
   s.run();
-  EXPECT_EQ(s.exec(1).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(1), sim::JobState::Finished);
   // Served within ~ a quantum of its arrival, not after job 0's 4000 s.
   EXPECT_LT(s.exec(1).firstStart, 1500);
 }
@@ -117,7 +117,7 @@ TEST(IS, SuspendedJobResumesOnItsProcessors) {
   sim::Simulator s(trace, policy);
   s.run();
   EXPECT_EQ(s.exec(0).procs, sim::ProcSet::firstN(4));
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
 }
 
 TEST(IS, CustomQuantumRespected) {
@@ -146,7 +146,7 @@ TEST(IS, EverythingFinishesOnBusyStream) {
   sim::Simulator s(trace, policy);
   s.run();
   for (JobId i = 0; i < jobs.size(); ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
   s.auditState();
 }
 

@@ -74,7 +74,7 @@ TEST_P(SchedulerProperty, InvariantsHoldOverRandomWorkload) {
   for (const workload::Job& j : trace.jobs) {
     const auto& x = s.exec(j.id);
     // Every job finishes, after doing all its work.
-    EXPECT_EQ(x.state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(j.id), sim::JobState::Finished);
     EXPECT_EQ(x.remainingWork, 0);
     EXPECT_GE(x.firstStart, j.submit);
     EXPECT_GE(x.finish, x.firstStart + j.runtime);

@@ -155,7 +155,7 @@ TEST(ResumeMigrating, MovesToFreeProcessors) {
   };
   sim::Simulator s(trace, policy);
   s.run();
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
 }
 
 TEST(ResumeMigrating, RequiresSuspendedState) {
@@ -292,7 +292,7 @@ TEST(Regression, IsWideGrantUnderOverheadTerminates) {
   sim::Simulator s(trace, policy, config);
   s.run();  // must terminate
   for (JobId i = 0; i < jobs.size(); ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
 }
 
 TEST(Regression, SuspendDuringReadBackChargesElapsedOnly) {

@@ -45,7 +45,7 @@ TEST(SS, SimpleStreamRunsEverything) {
   sim::Simulator s(trace, policy);
   s.run();
   for (JobId i = 0; i < 3; ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
 }
 
 TEST(SS, ShortJobPreemptsLongJob) {
@@ -82,7 +82,7 @@ TEST(SS, SuspendedJobResumesOnSameProcessors) {
   // Track the victim's processors across suspension.
   s.run();
   EXPECT_EQ(s.exec(0).procs.count(), 4u);  // final set recorded
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
 }
 
 TEST(SS, HalfWidthRuleBlocksNarrowPreemptor) {
@@ -233,8 +233,8 @@ TEST(SSTwoTask, BothTasksFinishAndAlternate) {
   s.run();
   // Total work conserved: last finish >= 2 x length.
   EXPECT_GE(s.lastFinish(), 7200);
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
-  EXPECT_EQ(s.exec(1).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
+  EXPECT_EQ(s.state(1), sim::JobState::Finished);
 }
 
 // --- Reentry (Section IV-C) --------------------------------------------------
@@ -249,7 +249,7 @@ TEST(SSReentry, SuspendedJobPreemptsOccupantOfItsProcessors) {
       makeTrace(4, {{0, 7200, 4}, {10, 60, 4}, {500, 7000, 4}});
   sim::Simulator s(trace, policy);
   s.run();
-  EXPECT_EQ(s.exec(0).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(0), sim::JobState::Finished);
   EXPECT_GE(s.exec(0).suspendCount, 1u);
   // If A reentered by preempting C, C was suspended at least once.
   // (A could also simply wait for C to finish; accept either, but the sum
@@ -280,7 +280,7 @@ TEST(SSOverhead, PreemptorWaitsForDrainThenStarts) {
   EXPECT_GE(s.exec(0).suspendCount, 1u);
   // The short job ran after the 30 s write-out of the victim.
   EXPECT_GT(s.exec(1).firstStart, s.job(1).submit);
-  EXPECT_EQ(s.exec(1).state, sim::JobState::Finished);
+  EXPECT_EQ(s.state(1), sim::JobState::Finished);
   // Victim paid write-out + read-back.
   EXPECT_GE(s.exec(0).overheadTotal(), 60);
 }
@@ -297,7 +297,7 @@ TEST(SSOverhead, EverythingFinishesUnderHeavyPreemption) {
   sim::Simulator s(trace, policy, config);
   s.run();
   for (JobId i = 0; i < trace.jobs.size(); ++i)
-    EXPECT_EQ(s.exec(i).state, sim::JobState::Finished);
+    EXPECT_EQ(s.state(i), sim::JobState::Finished);
   s.auditState();
 }
 

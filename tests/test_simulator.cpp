@@ -22,7 +22,7 @@ TEST(Simulator, SingleJobRunsToCompletion) {
   Simulator s(trace, policy);
   s.run();
   const JobExec& x = s.exec(0);
-  EXPECT_EQ(x.state, JobState::Finished);
+  EXPECT_EQ(s.state(0), JobState::Finished);
   EXPECT_EQ(x.firstStart, 0);
   EXPECT_EQ(x.finish, 100);
   EXPECT_EQ(x.suspendCount, 0u);
@@ -46,7 +46,7 @@ TEST(Simulator, AccumulatedWaitFrozenWhileRunning) {
   Time waitAtStart = -1;
   policy.completion = [&](Simulator& s, JobId) {
     ScriptedPolicy::greedy(s);
-    if (s.exec(1).state == JobState::Running)
+    if (s.state(1) == JobState::Running)
       waitAtStart = s.accumulatedWait(1);
   };
   Simulator s(trace, policy);
@@ -101,7 +101,7 @@ TEST(Simulator, SuspendedJobKeepsSavedProcs) {
   };
   policy.timer = [&](Simulator& s, std::uint64_t) {
     s.suspendJob(0);
-    EXPECT_EQ(s.exec(0).state, JobState::Suspended);
+    EXPECT_EQ(s.state(0), JobState::Suspended);
     EXPECT_EQ(s.exec(0).procs, saved);
     EXPECT_EQ(s.exec(0).remainingWork, 90);
     s.resumeJob(0);
@@ -299,12 +299,12 @@ TEST(SimulatorOverhead, SuspendHoldsProcsDuringDrain) {
   policy.timer = [](Simulator& s, std::uint64_t) {
     s.suspendJob(0);
     // Draining: processors still held, state Suspending.
-    EXPECT_EQ(s.exec(0).state, JobState::Suspending);
+    EXPECT_EQ(s.state(0), JobState::Suspending);
     EXPECT_EQ(s.freeCount(), 0u);
   };
   policy.drained = [&](Simulator& s, JobId j) {
     EXPECT_EQ(s.now(), 70);  // 50 + 20 drain
-    EXPECT_EQ(s.exec(j).state, JobState::Suspended);
+    EXPECT_EQ(s.state(j), JobState::Suspended);
     EXPECT_EQ(s.freeCount(), 4u);
     drainChecked = true;
     s.resumeJob(j);

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""perf_guard.py — fail the perf-smoke lane on a real throughput regression.
+
+Compares a freshly generated engine kernel-sweep report (the JSON that
+bench_micro_engine writes as BENCH_engine.json) against the committed
+baseline at the repository root. A lane regresses when its incremental
+events/s falls more than the tolerance below the baseline's — 20% by
+default, chosen well above the ~10% run-to-run noise of the sweep so the
+guard only trips on genuine regressions, not scheduler jitter.
+
+Usage:
+  perf_guard.py --baseline BENCH_engine.json --candidate new.json
+  perf_guard.py --selftest
+
+Exit status: 0 when every lane holds (or improves), 1 on any regression or
+malformed report. Lanes present in only one report are reported but do not
+fail the guard (the benchmark may grow lanes; the baseline catches up when
+it is next regenerated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.20
+
+
+def lanes(report: dict) -> dict[str, float]:
+    """Map policy name -> incremental events/s, skipping malformed entries."""
+    out: dict[str, float] = {}
+    for entry in report.get("policies", []):
+        name = entry.get("policy")
+        inc = entry.get("incremental", {})
+        rate = inc.get("eventsPerSec")
+        if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
+            out[name] = float(rate)
+    return out
+
+
+def compare(baseline: dict, candidate: dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    base = lanes(baseline)
+    cand = lanes(candidate)
+    if not base:
+        return ["baseline report has no usable lanes"]
+    if not cand:
+        return ["candidate report has no usable lanes"]
+    failures = []
+    for name, rate in sorted(base.items()):
+        if name not in cand:
+            print(f"note: lane '{name}' missing from candidate (not failing)")
+            continue
+        floor = rate * (1.0 - tolerance)
+        got = cand[name]
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"{name}: baseline {rate:,.0f} ev/s, candidate {got:,.0f} ev/s, "
+              f"floor {floor:,.0f} ({verdict})")
+        if got < floor:
+            failures.append(
+                f"lane '{name}' regressed: {got:,.0f} ev/s < floor "
+                f"{floor:,.0f} ev/s ({(1 - got / rate) * 100:.1f}% below "
+                f"baseline {rate:,.0f})")
+    for name in sorted(set(cand) - set(base)):
+        print(f"note: new lane '{name}' has no baseline (not checked)")
+    return failures
+
+
+def selftest() -> int:
+    """Exercise the comparator on synthetic reports; used as a ctest."""
+    def report(rates: dict[str, float]) -> dict:
+        return {"policies": [
+            {"policy": n, "incremental": {"eventsPerSec": r}}
+            for n, r in rates.items()]}
+
+    base = report({"fcfs": 1_000_000.0, "ss": 200_000.0})
+    cases = [
+        # (candidate, expect_failures, label)
+        (report({"fcfs": 1_000_000.0, "ss": 200_000.0}), 0, "identical"),
+        (report({"fcfs": 900_000.0, "ss": 161_000.0}), 0, "within tolerance"),
+        (report({"fcfs": 1_500_000.0, "ss": 400_000.0}), 0, "improved"),
+        (report({"fcfs": 799_999.0, "ss": 200_000.0}), 1, "fcfs regressed"),
+        (report({"fcfs": 500_000.0, "ss": 100_000.0}), 2, "both regressed"),
+        (report({"fcfs": 1_000_000.0}), 0, "lane missing (warn only)"),
+        ({"policies": []}, 1, "empty candidate"),
+    ]
+    ok = True
+    for candidate, expected, label in cases:
+        got = len(compare(base, candidate))
+        status = "pass" if got == expected else "FAIL"
+        if got != expected:
+            ok = False
+        print(f"selftest [{label}]: expected {expected} failure(s), "
+              f"got {got} — {status}")
+    # Empty baseline is always a failure.
+    if len(compare({"policies": []}, base)) != 1:
+        print("selftest [empty baseline]: FAIL")
+        ok = False
+    print("selftest:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path,
+                    help="committed BENCH_engine.json to guard against")
+    ap.add_argument("--candidate", type=Path,
+                    help="freshly generated sweep report")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="allowed fractional drop (default %(default)s)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the comparator's self-checks and exit")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        ap.error("--baseline and --candidate are required (or --selftest)")
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        candidate = json.loads(args.candidate.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_guard: cannot read reports: {e}", file=sys.stderr)
+        return 1
+    failures = compare(baseline, candidate, args.tolerance)
+    for f in failures:
+        print(f"perf_guard: {f}", file=sys.stderr)
+    print("perf_guard:", "PASS" if not failures else "FAIL")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

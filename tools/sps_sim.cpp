@@ -19,6 +19,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -280,39 +281,34 @@ std::unique_ptr<obs::TraceSink> makeSink(const CliOptions& opt) {
 
 core::PolicySpec buildPolicy(const CliOptions& opt, core::Runner& runner,
                              const workload::Trace& trace) {
+  // The shared registry (sched::specFromToken) owns the name -> policy
+  // mapping. Parameterized policies get a ":1" placeholder — their real
+  // parameters ride dedicated CLI flags, not token suffixes, and doubles
+  // must not round-trip through text — and the label reverts to the
+  // policy's own name(), as before.
+  const bool parameterized = opt.policy == "ss" || opt.policy == "tss" ||
+                             opt.policy == "tss-online" ||
+                             opt.policy == "depth";
   core::PolicySpec spec;
-  if (opt.policy == "fcfs") {
-    spec.kind = core::PolicyKind::Fcfs;
-  } else if (opt.policy == "conservative") {
-    spec.kind = core::PolicyKind::Conservative;
-  } else if (opt.policy == "easy") {
-    spec.kind = core::PolicyKind::Easy;
-  } else if (opt.policy == "sjf") {
-    spec.kind = core::PolicyKind::Easy;
-    spec.easy.order = sched::QueueOrder::ShortestFirst;
-  } else if (opt.policy == "ss") {
-    spec.kind = core::PolicyKind::SelectiveSuspension;
+  try {
+    spec =
+        sched::specFromToken(parameterized ? opt.policy + ":1" : opt.policy);
+  } catch (const std::invalid_argument&) {
+    fail("unknown policy: " + opt.policy);
+  }
+  spec.label.clear();
+  if (opt.policy == "ss" || opt.policy == "tss" ||
+      opt.policy == "tss-online")
     spec.ss.suspensionFactor = opt.sf;
-  } else if (opt.policy == "tss") {
-    spec.kind = core::PolicyKind::SelectiveSuspension;
-    spec.ss.suspensionFactor = opt.sf;
+  if (opt.policy == "tss") {
     std::cerr << "calibrating TSS limits from an NS run...\n";
     spec.ss.tssLimits = core::bootstrapTssLimits(runner, trace);
-  } else if (opt.policy == "tss-online") {
-    spec.kind = core::PolicyKind::SelectiveSuspension;
-    spec.ss.suspensionFactor = opt.sf;
-    spec.ss.tssOnlineMultiplier = 1.5;
-  } else if (opt.policy == "is") {
-    spec.kind = core::PolicyKind::ImmediateService;
-  } else if (opt.policy == "gang") {
-    spec.kind = core::PolicyKind::Gang;
+  }
+  if (opt.policy == "tss-online") spec.ss.tssOnlineMultiplier = 1.5;
+  if (opt.policy == "depth") spec.depth.depth = opt.depth;
+  if (opt.policy == "gang") {
     spec.gang.maxSlots = opt.gangSlots;
     spec.gang.slotQuantum = opt.gangQuantum;
-  } else if (opt.policy == "depth") {
-    spec.kind = core::PolicyKind::DepthBackfill;
-    spec.depth.depth = opt.depth;
-  } else {
-    fail("unknown policy: " + opt.policy);
   }
   return spec;
 }
