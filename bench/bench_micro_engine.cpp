@@ -244,6 +244,48 @@ void runKernelSweep() {
               << checkOverhead << "x overhead), timeline " << tl.eventsPerSec
               << " ev/s (" << timelineOverhead << "x overhead)\n";
   }
+  // Large-machine lanes: the scale-out configurations ROADMAP item 2 asks
+  // for, riding the same policies array so perf_guard covers them like any
+  // other lane. SDSC mix re-targeted at 16k and 100k processors (width
+  // bands scale proportionally); fewer jobs than the paper-scale sweep so
+  // the sweep's wall time stays bounded — events/s is per-lane comparable
+  // against its own baseline, which is all the guard checks.
+  struct BigLane {
+    const char* label;
+    std::uint32_t procs;
+  };
+  constexpr BigLane bigLanes[] = {{"16k", 16'384}, {"100k", 100'000}};
+  for (const BigLane& big : bigLanes) {
+    auto bigConfig =
+        workload::scaledToMachine(workload::sdscConfig(jobs / 2, 42),
+                                  big.procs);
+    bigConfig.offeredLoad = 0.95;
+    const auto bigTrace = workload::generateTrace(bigConfig);
+    for (const char* policyLabel : {"fcfs", "ss"}) {
+      core::PolicySpec bigSpec;
+      bigSpec.kind = policyLabel[0] == 'f'
+                         ? core::PolicyKind::Fcfs
+                         : core::PolicyKind::SelectiveSuspension;
+      const Lane inc = timeLane(
+          bigTrace, sched::withKernelMode(bigSpec, KernelMode::Incremental),
+          repeats);
+      const std::string label = std::string(policyLabel) + "@" + big.label;
+      w.beginObject();
+      w.field("policy", label);
+      w.field("lane", "large-machine");
+      w.field("machineProcs", static_cast<std::uint64_t>(big.procs));
+      w.field("jobs", static_cast<std::uint64_t>(bigTrace.jobs.size()));
+      w.key("incremental").beginObject();
+      w.field("wallSeconds", inc.wallSeconds);
+      w.field("eventsPerSec", inc.eventsPerSec);
+      w.field("events", inc.events);
+      w.endObject();
+      w.endObject();
+      std::cout << "  " << label << ": incremental " << inc.eventsPerSec
+                << " ev/s (" << bigTrace.jobs.size() << " jobs, "
+                << big.procs << " procs)\n";
+    }
+  }
   w.endArray();
   w.endObject();
   out << "\n";

@@ -91,10 +91,17 @@ workload::Job makeJob(Time submit, Time runtime, std::uint32_t procs,
 /// generateTrace requires machineProcs > 32 (the VeryWide band needs room),
 /// so this shape runs on the larger machines.
 workload::Trace cornerSynthetic(Rng& rng, std::size_t jobs) {
-  static constexpr std::uint32_t kMachines[] = {64, 100, 128, 430};
+  // The paper-scale machines plus two scale-out sizes that force ProcSet's
+  // windowed large-set mode (procs >= 1024) through every policy and both
+  // kernel modes.
+  static constexpr std::uint32_t kMachines[] = {64,   100,  128,
+                                                430,  4096, 65'536};
   workload::SyntheticConfig cfg;
   cfg.name = "fuzz-corner";
-  cfg.machineProcs = kMachines[rng.uniformInt(0, 3)];
+  cfg.machineProcs = kMachines[rng.uniformInt(0, 5)];
+  // Scale the width bands with the machine past the inline boundary so the
+  // big configs exercise wide-window sets instead of 99% VeryWide jobs.
+  cfg.scaleWidthBands = cfg.machineProcs > 1024;
   cfg.jobCount = jobs;
   cfg.seed = rng.next();
   const int corners = static_cast<int>(rng.uniformInt(1, 3));

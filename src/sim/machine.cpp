@@ -3,8 +3,10 @@
 namespace sps::sim {
 
 Machine::Machine(std::uint32_t totalProcs)
-    : total_(totalProcs), free_(ProcSet::firstN(totalProcs)) {
-  SPS_CHECK_MSG(totalProcs > 0 && totalProcs <= ProcSet::kMaxProcs,
+    : total_(totalProcs),
+      free_(ProcSet::firstN(totalProcs)),
+      freeCount_(totalProcs) {
+  SPS_CHECK_MSG(totalProcs > 0 && totalProcs <= kMaxMachineProcs,
                 "machine size " << totalProcs << " out of range");
 }
 
@@ -23,6 +25,7 @@ ProcSet Machine::allocate(std::uint32_t n, Time now) {
   advance(now);
   ProcSet chosen = free_.lowest(n);
   free_ -= chosen;
+  freeCount_ -= n;
   return chosen;
 }
 
@@ -36,6 +39,7 @@ ProcSet Machine::allocateAvoiding(std::uint32_t n, const ProcSet& avoid,
   advance(now);
   ProcSet chosen = pool.lowest(n);
   free_ -= chosen;
+  freeCount_ -= n;
   return chosen;
 }
 
@@ -56,6 +60,7 @@ ProcSet Machine::allocatePreferring(std::uint32_t n, const ProcSet& softAvoid,
     chosen |= (pool & softAvoid).lowest(n - preferred.count());
   }
   free_ -= chosen;
+  freeCount_ -= n;
   return chosen;
 }
 
@@ -65,6 +70,7 @@ void Machine::allocateExact(const ProcSet& procs, Time now) {
                 "allocateExact of non-free processors " << procs.toString());
   advance(now);
   free_ -= procs;
+  freeCount_ -= procs.count();
 }
 
 void Machine::release(const ProcSet& procs, Time now) {
@@ -73,6 +79,7 @@ void Machine::release(const ProcSet& procs, Time now) {
                 "release of already-free processors " << procs.toString());
   advance(now);
   free_ |= procs;
+  freeCount_ += procs.count();
 }
 
 double Machine::busyProcSeconds(Time now) const {

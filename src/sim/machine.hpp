@@ -14,11 +14,16 @@ namespace sps::sim {
 
 class Machine {
  public:
+  /// Sanity ceiling on machine size. The ProcSet representation is
+  /// capacity-parametric, so this is not a storage bound — it only rejects
+  /// nonsense (e.g. a sign error) before it allocates gigabytes.
+  static constexpr std::uint32_t kMaxMachineProcs = 1u << 24;
+
   /// A machine with processors {0, ..., totalProcs-1}, all free.
   explicit Machine(std::uint32_t totalProcs);
 
   [[nodiscard]] std::uint32_t totalProcs() const { return total_; }
-  [[nodiscard]] std::uint32_t freeCount() const { return free_.count(); }
+  [[nodiscard]] std::uint32_t freeCount() const { return freeCount_; }
   [[nodiscard]] std::uint32_t busyCount() const { return total_ - freeCount(); }
   [[nodiscard]] const ProcSet& freeSet() const { return free_; }
 
@@ -58,6 +63,10 @@ class Machine {
 
   std::uint32_t total_;
   ProcSet free_;
+  /// Cached free_.count(); a popcount sweep per query would be O(machine
+  /// words) — noticeable at 100k processors, where freeCount() gates every
+  /// dispatch decision.
+  std::uint32_t freeCount_;
   Time lastChange_ = 0;
   double busyIntegral_ = 0.0;
 };

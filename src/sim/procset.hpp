@@ -1,16 +1,32 @@
-// ProcSet — a fixed-capacity bitset over named processors.
+// ProcSet — a capacity-parametric set of named processors.
 //
 // Local preemption (the model in the paper: no process migration) requires a
 // suspended job to resume on the *identical* set of processors, so the
-// simulator tracks concrete processor IDs rather than free counts. A flat
-// 1024-bit set (16 machine words) covers every machine in the study (CTC SP2
-// = 430, SDSC SP2 = 128, KTH SP2 = 100) with room for larger systems, and
-// keeps every set operation branch-free over a few words.
+// simulator tracks concrete processor IDs rather than free counts. The
+// representation is a hybrid:
+//
+//   * Small-set mode: processors < kInlineBits (1024) live in 16 inline
+//     machine words — zero allocation, branch-free word loops, bit-identical
+//     with the original fixed bitset for every machine of the paper's study
+//     (CTC SP2 = 430, SDSC SP2 = 128, KTH SP2 = 100).
+//   * Large-set mode: processors >= kInlineBits live in a dynamically sized
+//     *window* of words [extBase, extBase + ext.size()) — memory is
+//     proportional to the span a set actually touches, not to the machine.
+//     On a 100k-processor machine the full free set costs ~12 KB, while a
+//     job's allocation (first-fit keeps it clustered) costs a couple of
+//     words wherever it landed.
+//
+// Canonical form: the window is trimmed (first and last ext words non-zero;
+// extBase == 0 when the window is empty), so structural equality is
+// memberwise equality and two equal sets always compare equal regardless of
+// the operation history that built them. tests/test_procset_diff.cpp pins
+// the hybrid against a plain reference bitset over adversarial run patterns.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -18,31 +34,45 @@ namespace sps::sim {
 
 class ProcSet {
  public:
-  static constexpr std::uint32_t kMaxProcs = 1024;
-  static constexpr std::size_t kWords = kMaxProcs / 64;
+  /// Small-set mode boundary: processors below this live in inline words.
+  static constexpr std::uint32_t kInlineBits = 1024;
+  static constexpr std::size_t kInlineWords = kInlineBits / 64;
 
   /// The empty set.
-  constexpr ProcSet() : words_{} {}
+  ProcSet() : words_{} {}
 
-  /// The set {0, 1, ..., n-1}. Requires n <= kMaxProcs.
+  /// The set {0, 1, ..., n-1}, for any n.
   static ProcSet firstN(std::uint32_t n);
 
   [[nodiscard]] bool contains(std::uint32_t proc) const {
-    SPS_DCHECK(proc < kMaxProcs);
-    return (words_[proc >> 6] >> (proc & 63)) & 1u;
+    if (proc < kInlineBits)
+      return (words_[proc >> 6] >> (proc & 63)) & 1u;
+    const std::uint32_t w = proc >> 6;
+    if (w < extBase_ || w - extBase_ >= ext_.size()) return false;
+    return (ext_[w - extBase_] >> (proc & 63)) & 1u;
   }
 
   void insert(std::uint32_t proc) {
-    SPS_DCHECK(proc < kMaxProcs);
-    words_[proc >> 6] |= std::uint64_t{1} << (proc & 63);
+    if (proc < kInlineBits) {
+      words_[proc >> 6] |= std::uint64_t{1} << (proc & 63);
+      return;
+    }
+    insertExt(proc);
   }
 
   void erase(std::uint32_t proc) {
-    SPS_DCHECK(proc < kMaxProcs);
-    words_[proc >> 6] &= ~(std::uint64_t{1} << (proc & 63));
+    if (proc < kInlineBits) {
+      words_[proc >> 6] &= ~(std::uint64_t{1} << (proc & 63));
+      return;
+    }
+    eraseExt(proc);
   }
 
-  void clear() { words_.fill(0); }
+  void clear() {
+    words_.fill(0);
+    ext_.clear();
+    extBase_ = 0;
+  }
 
   [[nodiscard]] std::uint32_t count() const;
   [[nodiscard]] bool empty() const;
@@ -58,6 +88,7 @@ class ProcSet {
   ProcSet& operator&=(const ProcSet& other);
   ProcSet& operator-=(const ProcSet& other);
 
+  /// Structural equality; canonical trimming makes it semantic equality.
   bool operator==(const ProcSet& other) const = default;
 
   /// The n lowest-numbered processors of this set. Requires n <= count().
@@ -69,11 +100,21 @@ class ProcSet {
   /// Visit members in increasing order. F: void(std::uint32_t).
   template <typename F>
   void forEach(F&& f) const {
-    for (std::size_t w = 0; w < kWords; ++w) {
+    for (std::size_t w = 0; w < kInlineWords; ++w) {
       std::uint64_t bits = words_[w];
       while (bits != 0) {
         const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(bits));
         f(static_cast<std::uint32_t>(w * 64) + bit);
+        bits &= bits - 1;
+      }
+    }
+    for (std::size_t i = 0; i < ext_.size(); ++i) {
+      std::uint64_t bits = ext_[i];
+      const auto base =
+          static_cast<std::uint32_t>((extBase_ + i) * 64);
+      while (bits != 0) {
+        const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(bits));
+        f(base + bit);
         bits &= bits - 1;
       }
     }
@@ -83,7 +124,25 @@ class ProcSet {
   [[nodiscard]] std::string toString() const;
 
  private:
-  std::array<std::uint64_t, kWords> words_;
+  /// Word `w` (absolute index) of the dynamic window; 0 outside it.
+  [[nodiscard]] std::uint64_t extWord(std::size_t w) const {
+    return (w >= extBase_ && w - extBase_ < ext_.size())
+               ? ext_[w - extBase_]
+               : 0;
+  }
+  void insertExt(std::uint32_t proc);
+  void eraseExt(std::uint32_t proc);
+  /// Restore canonical form after an operation that may have cleared the
+  /// window's leading or trailing words.
+  void trimExt();
+
+  /// Bits [0, kInlineBits): the zero-allocation small-set mode.
+  std::array<std::uint64_t, kInlineWords> words_;
+  /// Absolute word index of ext_[0]; >= kInlineWords when the window is
+  /// non-empty, 0 when it is empty (canonical form).
+  std::uint32_t extBase_ = 0;
+  /// Bits [extBase_*64, (extBase_+ext_.size())*64): the large-set window.
+  std::vector<std::uint64_t> ext_;
 };
 
 }  // namespace sps::sim

@@ -26,12 +26,21 @@ Band bandOf(std::size_t category, const SyntheticConfig& cfg) {
     case 2: b.runLo = kShortMax; b.runHi = kLongMax; break;
     default: b.runLo = kLongMax; b.runHi = cfg.maxRuntime; break;
   }
+  // Paper-absolute cutoffs by default; proportional to the machine when
+  // scaleWidthBands is set (never narrower than the paper's, so small
+  // machines are unaffected even with the flag on).
+  std::uint32_t narrowMax = kNarrowMax;
+  std::uint32_t wideMax = kWideMax;
+  if (cfg.scaleWidthBands) {
+    narrowMax = std::max<std::uint32_t>(kNarrowMax, cfg.machineProcs / 16);
+    wideMax = std::max<std::uint32_t>(kWideMax, cfg.machineProcs / 4);
+  }
   switch (w) {
     case 0: b.widthLo = 1; b.widthHi = 1; break;
-    case 1: b.widthLo = 2; b.widthHi = kNarrowMax; break;
-    case 2: b.widthLo = kNarrowMax + 1; b.widthHi = kWideMax; break;
+    case 1: b.widthLo = 2; b.widthHi = narrowMax; break;
+    case 2: b.widthLo = narrowMax + 1; b.widthHi = wideMax; break;
     default:
-      b.widthLo = kWideMax + 1;
+      b.widthLo = wideMax + 1;
       b.widthHi = cfg.machineProcs;
       break;
   }
@@ -168,6 +177,16 @@ SyntheticConfig kthConfig(std::size_t jobCount, std::uint64_t seed) {
   cfg.categoryMix = kSdscMix;  // mix not published; see DESIGN.md
   cfg.offeredLoad = 0.65;
   cfg.widthAlpha = 3.0;
+  return cfg;
+}
+
+SyntheticConfig scaledToMachine(SyntheticConfig cfg,
+                                std::uint32_t machineProcs) {
+  SPS_CHECK_MSG(machineProcs > kWideMax,
+                "machine must be wider than the Wide/VeryWide boundary");
+  cfg.name += "@" + std::to_string(machineProcs);
+  cfg.machineProcs = machineProcs;
+  cfg.scaleWidthBands = true;
   return cfg;
 }
 

@@ -60,6 +60,17 @@ struct SyntheticConfig {
   /// Poisson (the default). Real logs are strongly diurnal; this knob lets
   /// sensitivity studies include the day/night cycle.
   double diurnalAmplitude = 0.0;
+
+  /// Scale the width-band boundaries with the machine instead of using the
+  /// paper's absolute Table I cutoffs (Narrow <= 8, Wide <= 32, calibrated
+  /// for the ~128-proc SP2s). When set, Narrow tops out at machineProcs/16
+  /// and Wide at machineProcs/4 — the same *fractions* of the machine the
+  /// paper's cutoffs represent on SDSC — so a 100k-processor run sees the
+  /// same relative width spectrum rather than 99% VeryWide jobs. Off by
+  /// default: the paper-calibrated presets must stay bit-identical.
+  /// (Category16 *classification* of the resulting jobs still uses the
+  /// fixed Table I cutoffs everywhere else in the stack.)
+  bool scaleWidthBands = false;
 };
 
 /// Generate a trace; estimates are initialized to the exact runtime
@@ -77,5 +88,11 @@ struct SyntheticConfig {
                                          std::uint64_t seed = 42);
 [[nodiscard]] SyntheticConfig kthConfig(std::size_t jobCount = 10000,
                                         std::uint64_t seed = 42);
+
+/// Re-target a preset at a different machine size (the `sps_sim --procs N`
+/// override and the scale-out bench lanes): sets machineProcs and turns on
+/// proportional width-band scaling so the width spectrum keeps its shape.
+[[nodiscard]] SyntheticConfig scaledToMachine(SyntheticConfig cfg,
+                                              std::uint32_t machineProcs);
 
 }  // namespace sps::workload

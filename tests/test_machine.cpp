@@ -16,7 +16,24 @@ TEST(Machine, StartsAllFree) {
 
 TEST(Machine, RejectsZeroOrOversizedMachine) {
   EXPECT_THROW(Machine(0), InvariantError);
-  EXPECT_THROW(Machine(ProcSet::kMaxProcs + 1), InvariantError);
+  EXPECT_THROW(Machine(Machine::kMaxMachineProcs + 1), InvariantError);
+}
+
+TEST(Machine, SupportsMachinesBeyondInlineBits) {
+  Machine m(100'000);
+  EXPECT_EQ(m.totalProcs(), 100'000u);
+  EXPECT_EQ(m.freeCount(), 100'000u);
+  const ProcSet a = m.allocate(50'000, 0);
+  EXPECT_EQ(a, ProcSet::firstN(50'000));
+  EXPECT_EQ(m.freeCount(), 50'000u);
+  const ProcSet b = m.allocate(50'000, 0);
+  EXPECT_EQ(m.freeCount(), 0u);
+  EXPECT_TRUE(b.contains(99'999));
+  m.release(a, 10);
+  EXPECT_EQ(m.freeCount(), 50'000u);
+  m.release(b, 10);
+  EXPECT_EQ(m.freeCount(), 100'000u);
+  EXPECT_EQ(m.freeSet(), ProcSet::firstN(100'000));
 }
 
 TEST(Machine, AllocateTakesLowestFree) {

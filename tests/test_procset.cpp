@@ -45,8 +45,80 @@ TEST(ProcSet, FirstNShapes) {
   EXPECT_FALSE(s.contains(100));
 }
 
-TEST(ProcSet, FirstNOverCapacityThrows) {
-  EXPECT_THROW(ProcSet::firstN(1025), InvariantError);
+TEST(ProcSet, FirstNBeyondInlineBits) {
+  const ProcSet s = ProcSet::firstN(ProcSet::kInlineBits + 1);
+  EXPECT_EQ(s.count(), ProcSet::kInlineBits + 1);
+  EXPECT_TRUE(s.contains(ProcSet::kInlineBits));
+  EXPECT_FALSE(s.contains(ProcSet::kInlineBits + 1));
+  const ProcSet big = ProcSet::firstN(100'000);
+  EXPECT_EQ(big.count(), 100'000u);
+  EXPECT_TRUE(big.contains(99'999));
+  EXPECT_FALSE(big.contains(100'000));
+}
+
+TEST(ProcSet, LargeSetInsertEraseAcrossBoundary) {
+  ProcSet s;
+  for (std::uint32_t p : {1023u, 1024u, 4096u, 65'535u, 99'999u}) s.insert(p);
+  EXPECT_EQ(s.count(), 5u);
+  for (std::uint32_t p : {1023u, 1024u, 4096u, 65'535u, 99'999u})
+    EXPECT_TRUE(s.contains(p));
+  EXPECT_FALSE(s.contains(1025));
+  s.erase(4096);
+  s.erase(99'999);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_FALSE(s.contains(4096));
+  s.erase(1024);
+  s.erase(65'535);
+  s.erase(1023);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s, ProcSet{});
+}
+
+TEST(ProcSet, LargeSetEqualityIsHistoryIndependent) {
+  // Canonical trimming: the same member set must compare equal no matter
+  // which operations built it (windows grown high-to-low, low-to-high, or
+  // carved out of a larger set).
+  ProcSet up, down;
+  for (std::uint32_t p : {2000u, 50'000u, 90'000u}) up.insert(p);
+  for (std::uint32_t p : {90'000u, 50'000u, 2000u}) down.insert(p);
+  EXPECT_EQ(up, down);
+  ProcSet carved = ProcSet::firstN(100'000);
+  carved &= up;
+  EXPECT_EQ(carved, up);
+  ProcSet wide = up;
+  wide.insert(99'000);
+  wide.erase(99'000);
+  EXPECT_EQ(wide, up);
+  wide.insert(1500);
+  wide.erase(1500);
+  EXPECT_EQ(wide, up);
+}
+
+TEST(ProcSet, LargeSetLowestSpansBoundary) {
+  const ProcSet all = ProcSet::firstN(3000);
+  EXPECT_EQ(all.lowest(1024), ProcSet::firstN(1024));
+  EXPECT_EQ(all.lowest(2000), ProcSet::firstN(2000));
+  EXPECT_EQ(all.lowest(3000), all);
+  ProcSet sparse;
+  for (std::uint32_t p = 0; p < 3000; p += 100) sparse.insert(p);
+  const ProcSet low = sparse.lowest(15);
+  EXPECT_EQ(low.count(), 15u);
+  EXPECT_TRUE(low.contains(1400));
+  EXPECT_FALSE(low.contains(1500));
+}
+
+TEST(ProcSet, LargeSetFirstAndForEach) {
+  ProcSet s;
+  s.insert(70'000);
+  EXPECT_EQ(s.first(), 70'000u);
+  s.insert(1024);
+  EXPECT_EQ(s.first(), 1024u);
+  s.insert(5);
+  EXPECT_EQ(s.first(), 5u);
+  std::vector<std::uint32_t> seen;
+  s.forEach([&](std::uint32_t p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{5, 1024, 70'000}));
+  EXPECT_EQ(s.toString(), "{5,1024,70000}");
 }
 
 TEST(ProcSet, SetAlgebra) {
@@ -160,15 +232,18 @@ TEST(ProcSet, EqualityIsStructural) {
   EXPECT_NE(a, b);
 }
 
-// Property sweep: algebra laws on random sets across word boundaries.
+// Property sweep: algebra laws on random sets across word boundaries AND
+// across the inline/window representation boundary (odd seeds draw from
+// [0, 100k), so both modes participate in every identity).
 class ProcSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ProcSetProperty, AlgebraLaws) {
   Rng rng(GetParam());
+  const std::int64_t hi = (GetParam() % 2 == 0) ? 1023 : 99'999;
   ProcSet a, b;
   for (int i = 0; i < 60; ++i) {
-    a.insert(static_cast<std::uint32_t>(rng.uniformInt(0, 1023)));
-    b.insert(static_cast<std::uint32_t>(rng.uniformInt(0, 1023)));
+    a.insert(static_cast<std::uint32_t>(rng.uniformInt(0, hi)));
+    b.insert(static_cast<std::uint32_t>(rng.uniformInt(0, hi)));
   }
   // De Morgan-ish identities expressible without complement:
   EXPECT_EQ(((a | b) - b), (a - b));
@@ -191,9 +266,10 @@ TEST_P(ProcSetProperty, AlgebraLaws) {
 
 TEST_P(ProcSetProperty, LowestIsPrefixOfIteration) {
   Rng rng(GetParam() * 7919);
+  const std::int64_t hi = (GetParam() % 2 == 0) ? 1023 : 99'999;
   ProcSet a;
   for (int i = 0; i < 40; ++i)
-    a.insert(static_cast<std::uint32_t>(rng.uniformInt(0, 1023)));
+    a.insert(static_cast<std::uint32_t>(rng.uniformInt(0, hi)));
   std::vector<std::uint32_t> all;
   a.forEach([&](std::uint32_t p) { all.push_back(p); });
   const auto k = static_cast<std::uint32_t>(

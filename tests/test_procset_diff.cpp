@@ -1,0 +1,227 @@
+// Differential property suite: the hybrid ProcSet (inline words + dynamic
+// window) against a plain reference bitset, over adversarial run patterns —
+// runs straddling the inline/window boundary, window prepend/append growth,
+// erases that hollow out the window edges (trim canonicality), and algebra
+// between sets whose windows are disjoint, nested, or partially overlapping.
+// Wired as `ctest -L kernel`: this is the proof obligation that lets every
+// layer above treat the representation change as invisible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/procset.hpp"
+#include "util/rng.hpp"
+
+namespace sps::sim {
+namespace {
+
+/// Reference model: an ordered set of processor IDs. Every ProcSet
+/// operation has an obvious, independently-written counterpart here.
+class RefSet {
+ public:
+  void insert(std::uint32_t p) { s_.insert(p); }
+  void erase(std::uint32_t p) { s_.erase(p); }
+  [[nodiscard]] bool contains(std::uint32_t p) const { return s_.count(p); }
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(s_.size());
+  }
+  [[nodiscard]] bool empty() const { return s_.empty(); }
+
+  [[nodiscard]] RefSet unionWith(const RefSet& o) const {
+    RefSet r = *this;
+    r.s_.insert(o.s_.begin(), o.s_.end());
+    return r;
+  }
+  [[nodiscard]] RefSet intersectWith(const RefSet& o) const {
+    RefSet r;
+    for (auto p : s_)
+      if (o.contains(p)) r.s_.insert(p);
+    return r;
+  }
+  [[nodiscard]] RefSet differenceWith(const RefSet& o) const {
+    RefSet r;
+    for (auto p : s_)
+      if (!o.contains(p)) r.s_.insert(p);
+    return r;
+  }
+  [[nodiscard]] bool intersects(const RefSet& o) const {
+    return !intersectWith(o).empty();
+  }
+  [[nodiscard]] bool isSubsetOf(const RefSet& o) const {
+    return differenceWith(o).empty();
+  }
+  [[nodiscard]] RefSet lowest(std::uint32_t n) const {
+    RefSet r;
+    auto it = s_.begin();
+    for (std::uint32_t i = 0; i < n; ++i) r.s_.insert(*it++);
+    return r;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> members() const {
+    return {s_.begin(), s_.end()};
+  }
+
+ private:
+  std::set<std::uint32_t> s_;
+};
+
+/// Full-state agreement check: membership order, count, emptiness.
+void expectSame(const ProcSet& got, const RefSet& want) {
+  std::vector<std::uint32_t> gotMembers;
+  got.forEach([&](std::uint32_t p) { gotMembers.push_back(p); });
+  ASSERT_EQ(gotMembers, want.members());
+  EXPECT_EQ(got.count(), want.count());
+  EXPECT_EQ(got.empty(), want.empty());
+  if (!want.empty()) {
+    EXPECT_EQ(got.first(), want.members().front());
+  }
+}
+
+/// Adversarial proc draw: clusters around the representation's fault
+/// lines — word boundaries, the inline/window boundary at 1024, and the
+/// far end of a 100k machine — plus uniform fill in between.
+std::uint32_t adversarialProc(Rng& rng) {
+  static constexpr std::uint32_t kHotspots[] = {
+      0, 63, 64, 1022, 1023, 1024, 1025, 1087, 1088,
+      2048, 4095, 4096, 65'535, 65'536, 99'998, 99'999};
+  switch (rng.uniformInt(0, 3)) {
+    case 0: {
+      constexpr auto n =
+          static_cast<std::int64_t>(sizeof(kHotspots) / sizeof(kHotspots[0]));
+      return kHotspots[rng.uniformInt(0, n - 1)];
+    }
+    case 1:  // a run start: multiples of 64 +- 1
+      return static_cast<std::uint32_t>(
+          std::clamp<std::int64_t>(rng.uniformInt(0, 1562) * 64 +
+                                       rng.uniformInt(-1, 1),
+                                   0, 99'999));
+    default:
+      return static_cast<std::uint32_t>(rng.uniformInt(0, 99'999));
+  }
+}
+
+/// Insert a contiguous run [start, start+len) into both representations.
+void insertRun(ProcSet& p, RefSet& r, std::uint32_t start,
+               std::uint32_t len) {
+  for (std::uint32_t i = 0; i < len && start + i < 100'000; ++i) {
+    p.insert(start + i);
+    r.insert(start + i);
+  }
+}
+
+class ProcSetDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProcSetDiff, PointOperationSequence) {
+  Rng rng(GetParam());
+  ProcSet p;
+  RefSet r;
+  for (int step = 0; step < 400; ++step) {
+    const std::uint32_t proc = adversarialProc(rng);
+    if (rng.uniformInt(0, 2) != 0) {
+      p.insert(proc);
+      r.insert(proc);
+    } else {
+      p.erase(proc);
+      r.erase(proc);
+    }
+    EXPECT_EQ(p.contains(proc), r.contains(proc));
+    if (step % 50 == 49) expectSame(p, r);
+  }
+  expectSame(p, r);
+}
+
+TEST_P(ProcSetDiff, RunPatternSequence) {
+  Rng rng(GetParam() * 6151);
+  ProcSet p;
+  RefSet r;
+  for (int step = 0; step < 60; ++step) {
+    const std::uint32_t start = adversarialProc(rng);
+    const auto len =
+        static_cast<std::uint32_t>(rng.uniformInt(1, 200));
+    if (rng.uniformInt(0, 2) != 0) {
+      insertRun(p, r, start, len);
+    } else {
+      for (std::uint32_t i = 0; i < len && start + i < 100'000; ++i) {
+        p.erase(start + i);
+        r.erase(start + i);
+      }
+    }
+  }
+  expectSame(p, r);
+}
+
+TEST_P(ProcSetDiff, AlgebraOnAdversarialWindows) {
+  Rng rng(GetParam() * 31);
+  // Build two sets whose windows overlap / nest / miss each other depending
+  // on the seed, from runs around the fault lines.
+  ProcSet pa, pb;
+  RefSet ra, rb;
+  for (int i = 0; i < 8; ++i) {
+    insertRun(pa, ra, adversarialProc(rng),
+              static_cast<std::uint32_t>(rng.uniformInt(1, 150)));
+    insertRun(pb, rb, adversarialProc(rng),
+              static_cast<std::uint32_t>(rng.uniformInt(1, 150)));
+  }
+  expectSame(pa | pb, ra.unionWith(rb));
+  expectSame(pa & pb, ra.intersectWith(rb));
+  expectSame(pa - pb, ra.differenceWith(rb));
+  expectSame(pb - pa, rb.differenceWith(ra));
+  EXPECT_EQ(pa.intersects(pb), ra.intersects(rb));
+  EXPECT_EQ(pa.isSubsetOf(pb), ra.isSubsetOf(rb));
+  EXPECT_EQ((pa & pb).isSubsetOf(pa), true);
+  // Compound assignment agrees with the binary forms.
+  ProcSet u = pa;
+  u |= pb;
+  EXPECT_EQ(u, pa | pb);
+  ProcSet n = pa;
+  n &= pb;
+  EXPECT_EQ(n, pa & pb);
+  ProcSet d = pa;
+  d -= pb;
+  EXPECT_EQ(d, pa - pb);
+}
+
+TEST_P(ProcSetDiff, LowestMatchesReference) {
+  Rng rng(GetParam() * 977);
+  ProcSet p;
+  RefSet r;
+  for (int i = 0; i < 10; ++i)
+    insertRun(p, r, adversarialProc(rng),
+              static_cast<std::uint32_t>(rng.uniformInt(1, 120)));
+  const std::uint32_t total = r.count();
+  for (std::uint32_t n :
+       {std::uint32_t{0}, std::uint32_t{1}, total / 2, total}) {
+    expectSame(p.lowest(n), r.lowest(n));
+  }
+}
+
+TEST_P(ProcSetDiff, EqualityAgreesAfterDivergentHistories) {
+  // Build the same member set along two different operation paths (with
+  // detours through extra members) — canonical trimming must make the
+  // representations structurally identical.
+  Rng rng(GetParam() * 409);
+  std::vector<std::uint32_t> procs;
+  for (int i = 0; i < 50; ++i) procs.push_back(adversarialProc(rng));
+  ProcSet fwd, rev;
+  for (auto it = procs.begin(); it != procs.end(); ++it) fwd.insert(*it);
+  for (auto it = procs.rbegin(); it != procs.rend(); ++it) rev.insert(*it);
+  // Detour: push the window edges out and back.
+  const std::uint32_t detour = adversarialProc(rng);
+  if (std::find(procs.begin(), procs.end(), detour) == procs.end()) {
+    rev.insert(detour);
+    rev.erase(detour);
+  }
+  EXPECT_EQ(fwd, rev);
+  // And via algebra: carving the set out of firstN(100k).
+  ProcSet carved = ProcSet::firstN(100'000);
+  carved &= fwd;
+  EXPECT_EQ(carved, fwd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcSetDiff,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace sps::sim

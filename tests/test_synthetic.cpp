@@ -147,6 +147,43 @@ TEST_P(WidthAlpha, WidthsStayInVwBand) {
 INSTANTIATE_TEST_SUITE_P(Alphas, WidthAlpha,
                          ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0));
 
+TEST(Synthetic, ScaledToMachineKeepsBandShape) {
+  const SyntheticConfig cfg =
+      scaledToMachine(sdscConfig(2000, 31), 100'000);
+  EXPECT_EQ(cfg.machineProcs, 100'000u);
+  EXPECT_TRUE(cfg.scaleWidthBands);
+  EXPECT_EQ(cfg.name, "SDSC-synth@100000");
+  const Trace t = generateTrace(cfg);
+  EXPECT_EQ(t.machineProcs, 100'000u);
+  std::uint32_t maxWidth = 0;
+  std::size_t beyondPaperVw = 0;
+  for (const Job& j : t.jobs) {
+    ASSERT_GE(j.procs, 1u);
+    ASSERT_LE(j.procs, cfg.machineProcs);
+    maxWidth = std::max(maxWidth, j.procs);
+    if (j.procs > 100'000 / 4) ++beyondPaperVw;
+  }
+  // Scaled bands: the VW band starts at machineProcs/4, so genuinely wide
+  // jobs exist, but the bottom-heavy in-band law keeps them a minority.
+  EXPECT_GT(maxWidth, 25'000u);
+  EXPECT_GT(beyondPaperVw, 0u);
+  EXPECT_LT(beyondPaperVw, t.jobs.size() / 2);
+}
+
+TEST(Synthetic, ScaleFlagOffIsBitIdentical) {
+  SyntheticConfig plain = sdscConfig(500, 7);
+  SyntheticConfig flagged = plain;
+  flagged.scaleWidthBands = true;  // no-op at 128 procs: bands never shrink
+  const Trace a = generateTrace(plain);
+  const Trace b = generateTrace(flagged);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].procs, b.jobs[i].procs);
+    EXPECT_EQ(a.jobs[i].runtime, b.jobs[i].runtime);
+    EXPECT_EQ(a.jobs[i].submit, b.jobs[i].submit);
+  }
+}
+
 TEST(Synthetic, HigherWidthAlphaGivesNarrowerJobs) {
   double prevMean = 1e9;
   for (double alpha : {1.0, 2.0, 3.0}) {

@@ -98,7 +98,10 @@ void addWorkloadFlags(core::CliConfig& cli, CliOptions& opt) {
   cli.section("Workload (choose one)");
   cli.option("--swf", &opt.swfFile, "FILE",
              "Standard Workload Format log (requires --procs)");
-  cli.option("--procs", &opt.procs, "N", "machine size for --swf");
+  cli.option("--procs", &opt.procs, "N",
+             "machine size: required with --swf; with a preset, re-targets "
+             "the synthetic workload at an N-processor machine (width bands "
+             "scale proportionally)");
   cli.option("--preset", &opt.preset, "ctc|sdsc|kth",
              "calibrated synthetic workload (default: sdsc)");
   cli.option("--jobs", &opt.jobs, "N", "synthetic job count (default: 10000)");
@@ -242,6 +245,8 @@ workload::Trace buildWorkload(const CliOptions& opt) {
       cfg = workload::kthConfig(opt.jobs, opt.seed);
     else fail("unknown preset: " + opt.preset);
     if (opt.load) cfg.offeredLoad = *opt.load;
+    if (opt.procs != 0 && opt.procs != cfg.machineProcs)
+      cfg = workload::scaledToMachine(cfg, opt.procs);
     trace = workload::generateTrace(cfg);
   }
 
