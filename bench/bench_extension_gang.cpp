@@ -40,7 +40,7 @@ int main() {
   // contrast against SS (rare, targeted suspensions) sharpens.
   const sched::DiskSwapOverhead overhead(trace, 2.0);
   core::SimulationOptions withOverhead;
-  withOverhead.overhead = &overhead;
+  withOverhead.sim.overhead = &overhead;
   const auto loaded =
       core::compareSchemes(trace, {gang2, ss, ns}, withOverhead);
   core::printHeading(std::cout,

@@ -28,7 +28,7 @@ int main() {
   auto runs = core::compareSchemes(trace, {tss, ns, is});
   const sched::DiskSwapOverhead overhead(trace, 2.0);
   core::SimulationOptions withOverhead;
-  withOverhead.overhead = &overhead;
+  withOverhead.sim.overhead = &overhead;
   core::PolicySpec tssOh = tss;
   tssOh.label = "SF = 2 OH";
   runs.insert(runs.begin() + 1,

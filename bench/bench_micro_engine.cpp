@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "check/check_config.hpp"
+#include "core/scheduler_service.hpp"
 #include "core/simulation.hpp"
 #include "metrics/json.hpp"
 #include "obs/trace.hpp"
@@ -187,7 +188,7 @@ void runKernelSweep() {
   // the calendar queue (the default), so the speedup column prices the full
   // hot-path overhaul, with golden equivalence pinning both axes at once.
   core::SimulationOptions rebuildOptions;
-  rebuildOptions.queueKind = sim::QueueKind::BinaryHeap;
+  rebuildOptions.sim.queueKind = sim::QueueKind::BinaryHeap;
 
   for (const auto& [label, policySpec] : policies) {
     const Lane reb =
@@ -285,6 +286,61 @@ void runKernelSweep() {
                 << " ev/s (" << bigTrace.jobs.size() << " jobs, "
                 << big.procs << " procs)\n";
     }
+  }
+  // Service-ingest lane: the same sweep trace pushed through the
+  // SchedulerService line protocol (parse + bounded-lookahead advance +
+  // streamed submit) instead of a pre-built Trace, pricing the online
+  // scheduler-service mode end to end. Golden equivalence guarantees the
+  // schedule is bit-identical to the batch lanes, so the gap to the `easy`
+  // incremental lane is pure ingest-boundary cost. Rides the policies
+  // array so perf_guard prices it like any other lane.
+  {
+    std::string script;
+    script.reserve(trace.jobs.size() * 32);
+    for (const workload::Job& job : trace.jobs) {
+      script += "submit " + std::to_string(job.submit) + ' ' +
+                std::to_string(job.procs) + ' ' + std::to_string(job.runtime) +
+                ' ' + std::to_string(job.estimate) + ' ' +
+                std::to_string(job.memoryMb) + '\n';
+    }
+    script += "drain\n";
+    Lane lane;
+    for (int r = 0; r < repeats; ++r) {
+      core::ServiceConfig cfg;
+      cfg.traceName = "service-ingest";
+      cfg.machineProcs = trace.machineProcs;
+      cfg.spec.kind = core::PolicyKind::Easy;
+      core::SchedulerService service(std::move(cfg));
+      const auto t0 = std::chrono::steady_clock::now();
+      std::size_t pos = 0;
+      while (pos < script.size()) {
+        const std::size_t eol = script.find('\n', pos);
+        benchmark::DoNotOptimize(
+            service.processLine({script.data() + pos, eol - pos}));
+        pos = eol + 1;
+      }
+      const metrics::RunStats stats = service.finish();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (r == 0 || wall < lane.wallSeconds) {
+        lane.wallSeconds = wall;
+        lane.events = stats.eventsProcessed;
+        lane.eventsPerSec = static_cast<double>(stats.eventsProcessed) / wall;
+      }
+    }
+    w.beginObject();
+    w.field("policy", "service-ingest");
+    w.field("lane", "service");
+    w.field("jobs", static_cast<std::uint64_t>(trace.jobs.size()));
+    w.key("incremental").beginObject();
+    w.field("wallSeconds", lane.wallSeconds);
+    w.field("eventsPerSec", lane.eventsPerSec);
+    w.field("events", lane.events);
+    w.endObject();
+    w.endObject();
+    std::cout << "  service-ingest: " << lane.eventsPerSec << " ev/s ("
+              << trace.jobs.size() << " protocol submissions, easy)\n";
   }
   w.endArray();
   w.endObject();

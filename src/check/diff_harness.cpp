@@ -41,21 +41,23 @@ std::string describeTransition(const std::tuple<Time, JobId, int, int>& t) {
   return os.str();
 }
 
-std::string diffRecords(const RunRecord& inc, const RunRecord& reb) {
+std::string diffRecords(const RunRecord& inc, const RunRecord& reb,
+                        const char* lhs = "incremental",
+                        const char* rhs = "rebuild") {
   const std::size_t n = std::min(inc.transitions.size(),
                                  reb.transitions.size());
   for (std::size_t i = 0; i < n; ++i) {
     if (inc.transitions[i] == reb.transitions[i]) continue;
     std::ostringstream os;
-    os << "schedules diverge at transition " << i << ": incremental ("
-       << describeTransition(inc.transitions[i]) << ") vs rebuild ("
+    os << "schedules diverge at transition " << i << ": " << lhs << " ("
+       << describeTransition(inc.transitions[i]) << ") vs " << rhs << " ("
        << describeTransition(reb.transitions[i]) << ")";
     return os.str();
   }
   if (inc.transitions.size() != reb.transitions.size()) {
     std::ostringstream os;
-    os << "transition counts differ: incremental " << inc.transitions.size()
-       << " vs rebuild " << reb.transitions.size();
+    os << "transition counts differ: " << lhs << " " << inc.transitions.size()
+       << " vs " << rhs << " " << reb.transitions.size();
     return os.str();
   }
   for (std::size_t id = 0; id < inc.firstStart.size(); ++id) {
@@ -63,11 +65,11 @@ std::string diffRecords(const RunRecord& inc, const RunRecord& reb) {
         inc.finish[id] != reb.finish[id] ||
         inc.suspendCount[id] != reb.suspendCount[id]) {
       std::ostringstream os;
-      os << "per-job records diverge for job " << id << ": incremental (start "
-         << inc.firstStart[id] << ", finish " << inc.finish[id] << ", "
-         << inc.suspendCount[id] << " suspensions) vs rebuild (start "
-         << reb.firstStart[id] << ", finish " << reb.finish[id] << ", "
-         << reb.suspendCount[id] << " suspensions)";
+      os << "per-job records diverge for job " << id << ": " << lhs
+         << " (start " << inc.firstStart[id] << ", finish " << inc.finish[id]
+         << ", " << inc.suspendCount[id] << " suspensions) vs " << rhs
+         << " (start " << reb.firstStart[id] << ", finish " << reb.finish[id]
+         << ", " << reb.suspendCount[id] << " suspensions)";
       return os.str();
     }
   }
@@ -240,8 +242,14 @@ FuzzCase makeFuzzCase(std::uint64_t seed, std::string token) {
   return c;
 }
 
-RunRecord DiffHarness::runOnce(const FuzzCase& c, KernelMode mode,
-                               std::string* violation) const {
+namespace {
+
+/// Shared body of runOnce/runStreamed: construct (batch or streaming),
+/// arm the oracle and the transition recorder, run `drive`, harvest.
+template <typename Drive>
+RunRecord runRecorded(const CheckConfig& checks, const FuzzCase& c,
+                      KernelMode mode, bool streamed, Drive&& drive,
+                      std::string* violation) {
   const core::PolicySpec spec = sched::withKernelMode(resolveSpec(c), mode);
   const auto policy = core::makePolicy(spec);
   std::optional<sched::DiskSwapOverhead> overhead;
@@ -253,32 +261,103 @@ RunRecord DiffHarness::runOnce(const FuzzCase& c, KernelMode mode,
                          ? sim::QueueKind::BinaryHeap
                          : sim::QueueKind::Calendar;
   if (c.overhead) {
+    // Per-job costs are precomputed by id from the original trace; the
+    // streamed lane assigns identical ids (stream order == trace order).
     overhead.emplace(c.trace);
     config.overhead = &*overhead;
   }
-  sim::Simulator simulator(c.trace, *policy, config);
-  InvariantChecker checker(checks_);
-  checker.arm(simulator, *policy);
+  std::optional<sim::Simulator> simulator;
+  if (streamed)
+    simulator.emplace(c.trace.name, c.trace.machineProcs, *policy, config);
+  else
+    simulator.emplace(c.trace, *policy, config);
+  InvariantChecker checker(checks);
+  checker.arm(*simulator, *policy);
   RunRecord record;
-  simulator.observers().onStateChange(
+  simulator->observers().onStateChange(
       [&record](const sim::Simulator& s, JobId id, sim::JobState from,
                 sim::JobState to) {
         record.transitions.emplace_back(s.now(), id, static_cast<int>(from),
                                         static_cast<int>(to));
       });
   try {
-    simulator.run();
-    checker.finalize(simulator);
+    drive(*simulator);
+    checker.finalize(*simulator);
   } catch (const InvariantError& e) {
     if (violation != nullptr) *violation = e.what();
     return record;
   }
   for (JobId id = 0; id < c.trace.jobs.size(); ++id) {
-    record.firstStart.push_back(simulator.exec(id).firstStart);
-    record.finish.push_back(simulator.exec(id).finish);
-    record.suspendCount.push_back(simulator.exec(id).suspendCount);
+    record.firstStart.push_back(simulator->exec(id).firstStart);
+    record.finish.push_back(simulator->exec(id).finish);
+    record.suspendCount.push_back(simulator->exec(id).suspendCount);
   }
   return record;
+}
+
+}  // namespace
+
+RunRecord DiffHarness::runOnce(const FuzzCase& c, KernelMode mode,
+                               std::string* violation) const {
+  return runRecorded(
+      checks_, c, mode, /*streamed=*/false,
+      [](sim::Simulator& simulator) { simulator.run(); }, violation);
+}
+
+RunRecord DiffHarness::runStreamed(const FuzzCase& c, KernelMode mode,
+                                   std::uint64_t seed,
+                                   std::string* violation) const {
+  return runRecorded(
+      checks_, c, mode, /*streamed=*/true,
+      [&c, seed](sim::Simulator& simulator) {
+        // Seeded coarse chopping: submit the trace in blocks of 1..8 jobs.
+        // Usually advance under minimum lookahead first (to the instant
+        // before the block's first submit); sometimes stay put, so a block
+        // lands while the simulator lags several events behind — both leave
+        // multiple future arrivals pending in the event queue, which the
+        // per-job pump never does.
+        Rng rng(seed);
+        const auto& jobs = c.trace.jobs;
+        std::size_t i = 0;
+        while (i < jobs.size()) {
+          const auto seg = std::min<std::size_t>(
+              jobs.size() - i,
+              static_cast<std::size_t>(rng.uniformInt(1, 8)));
+          if (rng.uniform01() < 0.7)
+            simulator.runUntil(jobs[i].submit - 1);
+          for (std::size_t k = 0; k < seg; ++k) simulator.submit(jobs[i + k]);
+          i += seg;
+        }
+        simulator.drain();
+      },
+      violation);
+}
+
+DiffOutcome DiffHarness::diffStreamed(const FuzzCase& c,
+                                      std::uint64_t seed) const {
+  DiffOutcome out;
+  for (const KernelMode mode :
+       {KernelMode::Incremental, KernelMode::Rebuild}) {
+    const char* lane =
+        mode == KernelMode::Incremental ? "incremental" : "rebuild";
+    std::string violation;
+    const RunRecord batch = runOnce(c, mode, &violation);
+    if (!violation.empty()) {
+      out.violation = "[batch/" + std::string(lane) + "] " + violation;
+      return out;
+    }
+    const RunRecord streamed = runStreamed(c, mode, seed, &violation);
+    if (!violation.empty()) {
+      out.violation = "[streamed/" + std::string(lane) + "] " + violation;
+      return out;
+    }
+    out.divergence = diffRecords(streamed, batch, "streamed", "batch");
+    if (!out.divergence.empty()) {
+      out.divergence = "[" + std::string(lane) + "] " + out.divergence;
+      return out;
+    }
+  }
+  return out;
 }
 
 DiffOutcome DiffHarness::diff(const FuzzCase& c) const {

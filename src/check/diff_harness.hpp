@@ -92,6 +92,25 @@ class DiffHarness {
   /// Run under both kernel modes and diff the records.
   [[nodiscard]] DiffOutcome diff(const FuzzCase& c) const;
 
+  /// Run the case once under `mode` through the streaming ingest boundary:
+  /// the trace is chopped into seeded segments, each submitted as a block
+  /// after advancing the simulator under bounded lookahead. Coarse segments
+  /// deliberately leave several future arrivals pending in the event queue
+  /// at once — the interleaving the per-job pump (core::runSimulation's
+  /// streaming overload) never produces. Same record/violation contract as
+  /// runOnce.
+  [[nodiscard]] RunRecord runStreamed(const FuzzCase& c,
+                                      sched::kernel::KernelMode mode,
+                                      std::uint64_t seed,
+                                      std::string* violation) const;
+
+  /// Golden equivalence across the ingest boundary: for each kernel mode,
+  /// batch vs streamed replay of the same case must be bit-identical.
+  /// A divergence here is an ingest-boundary bug (ordering, steady-state
+  /// snapshot, index growth), not a kernel one.
+  [[nodiscard]] DiffOutcome diffStreamed(const FuzzCase& c,
+                                         std::uint64_t seed) const;
+
   /// Greedy job-removal minimizer: smallest sub-trace of `c` that still
   /// fails diff(). Requires !diff(c).ok(); at most `maxRuns` diff
   /// evaluations.

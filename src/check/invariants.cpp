@@ -19,14 +19,21 @@ using sim::JobState;
 /// The simulator's lifecycle graph. Everything else is a corrupt stream.
 bool legalEdge(JobState from, JobState to) {
   switch (from) {
-    case JobState::NotArrived: return to == JobState::Queued;
-    case JobState::Queued: return to == JobState::Running;
+    // Cancellation (streaming ingest) may withdraw a job at any point where
+    // it holds no processors: before arrival, queued, or fully drained.
+    case JobState::NotArrived:
+      return to == JobState::Queued || to == JobState::Cancelled;
+    case JobState::Queued:
+      return to == JobState::Running || to == JobState::Cancelled;
     case JobState::Running:
       return to == JobState::Suspending || to == JobState::Suspended ||
              to == JobState::Finished;
     case JobState::Suspending: return to == JobState::Suspended;
-    case JobState::Suspended: return to == JobState::Running;
-    case JobState::Finished: return false;
+    case JobState::Suspended:
+      return to == JobState::Running || to == JobState::Cancelled;
+    case JobState::Finished:
+    case JobState::Cancelled:
+      return false;
   }
   return false;
 }
@@ -64,6 +71,7 @@ void TransitionAudit::onTransition(JobId id, JobState from, JobState to,
     ++suspensions_;
   }
   if (to == JobState::Finished) ++t.finishes;
+  if (to == JobState::Cancelled) ++t.cancels;
 }
 
 void TransitionAudit::finalize(std::size_t expectedJobs) const {
@@ -71,6 +79,28 @@ void TransitionAudit::finalize(std::size_t expectedJobs) const {
                 "conservation: " << jobs_.size() << " jobs observed, trace has "
                                  << expectedJobs);
   for (const auto& [id, t] : jobs_) {
+    if (t.last == JobState::Cancelled) {
+      // Withdrawn before completing: never finished, at most one arrival
+      // and one start, and at most one unmatched suspension (a cancel from
+      // Suspended leaves the final preemption unresumed).
+      SPS_CHECK_MSG(t.cancels == 1, "conservation: cancelled job "
+                                        << id << " cancelled " << t.cancels
+                                        << " times");
+      SPS_CHECK_MSG(t.finishes == 0, "conservation: cancelled job "
+                                         << id << " also finished");
+      SPS_CHECK_MSG(t.arrivals <= 1, "conservation: job " << id << " arrived "
+                                                          << t.arrivals
+                                                          << " times");
+      SPS_CHECK_MSG(t.starts <= 1, "conservation: job " << id << " started "
+                                                        << t.starts
+                                                        << " times");
+      SPS_CHECK_MSG(t.suspensions == t.resumes ||
+                        t.suspensions == t.resumes + 1,
+                    "conservation: cancelled job "
+                        << id << " suspended " << t.suspensions
+                        << " times but resumed " << t.resumes);
+      continue;
+    }
     SPS_CHECK_MSG(t.last == JobState::Finished,
                   "conservation: job " << id << " ended in "
                                        << sim::jobStateName(t.last));
@@ -214,7 +244,9 @@ void InvariantChecker::onStateChange(const sim::Simulator& s, JobId id,
   const Time now = s.now();
   s.counters().inc(obs::Counter::CheckTransitionAudits);
   if (config_.conservation) transitions_.onTransition(id, from, to, now);
-  if (config_.guarantees && to == JobState::Running) guarantees_.forget(id);
+  if (config_.guarantees &&
+      (to == JobState::Running || to == JobState::Cancelled))
+    guarantees_.forget(id);
   if (config_.tssBound && tssProbe_ && from == JobState::Running &&
       (to == JobState::Suspending || to == JobState::Suspended)) {
     if (const std::optional<double> limit = tssProbe_(s, id))
@@ -258,7 +290,8 @@ void InvariantChecker::finalize(const sim::Simulator& simulator) {
     for (JobId id = 0; id < jobs; ++id) {
       const sim::JobExec& x = simulator.exec(id);
       const TransitionAudit::Tally& t = transitions_.tally(id);
-      SPS_CHECK_MSG(simulator.state(id) == JobState::Finished,
+      SPS_CHECK_MSG(simulator.state(id) == JobState::Finished ||
+                        simulator.state(id) == JobState::Cancelled,
                     "conservation: exec state of job "
                         << id << " is " << sim::jobStateName(simulator.state(id))
                         << " after the run");

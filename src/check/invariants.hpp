@@ -60,6 +60,7 @@ class TransitionAudit {
     std::uint32_t resumes = 0;      ///< Suspended -> Running
     std::uint32_t suspensions = 0;  ///< Running -> Suspending/Suspended
     std::uint32_t finishes = 0;
+    std::uint32_t cancels = 0;      ///< * -> Cancelled (streaming ingest)
   };
 
   /// Feed one observed transition; throws InvariantError on an illegal

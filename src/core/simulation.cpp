@@ -1,43 +1,76 @@
 #include "core/simulation.hpp"
 
 #include <optional>
+#include <utility>
 
-#include "check/invariants.hpp"
 #include "core/progress.hpp"
-#include "obs/timeline.hpp"
-#include "sim/simulator.hpp"
-#include "util/check.hpp"
 
 namespace sps::core {
 
-metrics::RunStats runSimulation(const workload::Trace& trace,
-                                const PolicySpec& spec,
-                                const SimulationOptions& options) {
-  auto policy = makePolicy(spec);
-  // One Recorder per run: counters stay per-simulation (thread-count
-  // invariant under core::Runner) even when many runs share one sink.
-  obs::Recorder recorder(options.traceSink);
-  sim::Simulator::Config config;
-  config.overhead = options.overhead;
-  config.queueKind = options.queueKind;
-  config.recorder = &recorder;
-  sim::Simulator simulator(trace, *policy, config);
-  std::optional<check::InvariantChecker> checker;
+namespace {
+
+/// Resolve the effective simulator config: the unified `sim` member, with
+/// the deprecated flat fields still winning when a legacy caller set them.
+sim::SimulatorConfig effectiveSimConfig(const SimulationOptions& options) {
+  sim::SimulatorConfig config = options.sim;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  if (options.overhead != nullptr) config.overhead = options.overhead;
+  if (options.queueKind) config.queueKind = *options.queueKind;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  return config;
+}
+
+}  // namespace
+
+SimulationHarness::SimulationHarness(const workload::Trace& trace,
+                                     const PolicySpec& spec,
+                                     const SimulationOptions& options)
+    : policy_(makePolicy(spec)),
+      // One Recorder per run: counters stay per-simulation (thread-count
+      // invariant under core::Runner) even when many runs share one sink.
+      recorder_(options.traceSink),
+      traceSink_(options.traceSink),
+      label_(policyLabel(spec)) {
+  sim::SimulatorConfig config = effectiveSimConfig(options);
+  config.recorder = &recorder_;
+  simulator_.emplace(trace, *policy_, config);
+  arm(options);
+}
+
+SimulationHarness::SimulationHarness(std::string traceName,
+                                     std::uint32_t machineProcs,
+                                     const PolicySpec& spec,
+                                     const SimulationOptions& options)
+    : policy_(makePolicy(spec)),
+      recorder_(options.traceSink),
+      traceSink_(options.traceSink),
+      label_(policyLabel(spec)) {
+  sim::SimulatorConfig config = effectiveSimConfig(options);
+  config.recorder = &recorder_;
+  simulator_.emplace(std::move(traceName), machineProcs, *policy_, config);
+  arm(options);
+}
+
+void SimulationHarness::arm(const SimulationOptions& options) {
   if (options.check.any()) {
-    checker.emplace(options.check);
-    checker->arm(simulator, *policy);
+    checker_.emplace(options.check);
+    checker_->arm(*simulator_, *policy_);
   }
   // Telemetry rides the observer registry; with both features off nothing
   // is registered and the event loop is untouched (the zero-cost contract).
-  std::optional<obs::TimelineRecorder> timeline;
   if (options.timeline.enabled) {
-    timeline.emplace(options.timeline);
-    timeline->attach(simulator);
+    timeline_.emplace(options.timeline);
+    timeline_->attach(*simulator_);
   }
   if (options.progress != nullptr) {
     const std::uint64_t stride =
         options.progressStride == 0 ? 1 : options.progressStride;
-    simulator.observers().onEventDispatched(
+    simulator_->observers().onEventDispatched(
         [listener = options.progress, stride,
          n = std::uint64_t{0}](const sim::Simulator& s,
                                const sim::Event&) mutable {
@@ -45,18 +78,45 @@ metrics::RunStats runSimulation(const workload::Trace& trace,
             listener->onSimProgress(s.now(), s.eventsProcessed());
         });
   }
-  simulator.run();
-  if (checker) checker->finalize(simulator);
-  metrics::RunStats stats = metrics::collect(simulator, policyLabel(spec));
-  if (timeline) {
+  if (options.instrument) options.instrument(*simulator_);
+}
+
+metrics::RunStats SimulationHarness::finish() {
+  simulator_->drain();
+  if (checker_) checker_->finalize(*simulator_);
+  metrics::RunStats stats = metrics::collect(*simulator_, label_);
+  if (timeline_) {
     // Counter tracks are bounded post-run output (4 events per sample), so
     // emission is runtime-gated on the sink — unlike the per-event SPS_TRACE
     // layer, no instrumented build is required.
-    if (options.traceSink != nullptr)
-      timeline->emitCounterTracks(*options.traceSink);
-    stats.timeline = timeline->take();
+    if (traceSink_ != nullptr) timeline_->emitCounterTracks(*traceSink_);
+    stats.timeline = timeline_->take();
   }
   return stats;
+}
+
+metrics::RunStats runSimulation(const workload::Trace& trace,
+                                const PolicySpec& spec,
+                                const SimulationOptions& options) {
+  SimulationHarness harness(trace, spec, options);
+  harness.simulator().run();
+  return harness.finish();
+}
+
+metrics::RunStats runSimulation(JobSource& source, const PolicySpec& spec,
+                                const SimulationOptions& options) {
+  SimulationHarness harness(source.name(), source.machineProcs(), spec,
+                            options);
+  // Minimum-lookahead pump: advance to the instant before each job's
+  // submit time, then ingest it — every event at the submit instant
+  // dispatches with the arrival already enqueued, which (with the
+  // arrivals-first event band) reproduces the batch order exactly.
+  sim::Simulator& simulator = harness.simulator();
+  while (std::optional<workload::Job> j = source.next()) {
+    simulator.runUntil(j->submit - 1);
+    simulator.submit(std::move(*j));
+  }
+  return harness.finish();
 }
 
 }  // namespace sps::core

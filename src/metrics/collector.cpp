@@ -46,6 +46,9 @@ RunStats collect(const sim::Simulator& simulator,
   double computeProcSeconds = 0.0;
   for (const workload::Job& j : simulator.trace().jobs) {
     const sim::JobExec& x = simulator.exec(j.id);
+    // Cancelled jobs never completed any service; they carry no per-job
+    // metrics row (slowdown/turnaround are undefined for withdrawn work).
+    if (simulator.state(j.id) == sim::JobState::Cancelled) continue;
     SPS_CHECK_MSG(simulator.state(j.id) == sim::JobState::Finished,
                   "job " << j.id << " did not finish");
     JobResult r;

@@ -153,6 +153,11 @@ void PriorityIndex::attach(sim::Simulator& simulator) {
 
 void PriorityIndex::ensureMaintained(const sim::Simulator& simulator) {
   SPS_PIPROF(0);
+  // Streamed submits grow the job table after attach; the stamp/priority
+  // scratch arrays already resize at point of use, this one is indexed by
+  // every pending id below.
+  if (inPending_.size() < simulator.trace().jobs.size())
+    inPending_.resize(simulator.trace().jobs.size(), 0);
   const bool hit =
       valid_ && sim_ == &simulator && simulator.now() < orderValidUntil_;
   simulator.counters().inc(hit ? obs::Counter::IndexHits

@@ -45,6 +45,8 @@ void VictimIndex::attach(sim::Simulator& simulator) {
 }
 
 void VictimIndex::insert(const sim::Simulator& s, JobId id) {
+  // Streamed submits grow the job table after attach.
+  if (catOf_.size() <= id) catOf_.resize(s.trace().jobs.size(), 0);
   const workload::Job& j = s.job(id);
   // Scheduler-visible categorization (estimate, not actual runtime) — the
   // same classification the TSS limits are keyed by.

@@ -68,6 +68,15 @@ void EasyBackfill::onJobCompletion(sim::Simulator& simulator, JobId /*job*/) {
   schedulePass(simulator);
 }
 
+void EasyBackfill::onJobCancelled(sim::Simulator& simulator, JobId job) {
+  const auto it = std::find(queue_.begin(), queue_.end(), job);
+  SPS_CHECK_MSG(it != queue_.end(), "cancelled job " << job << " not queued");
+  queue_.erase(it);
+  // A cancelled pivot releases its shadow fence; rescan for newly-feasible
+  // starts and backfills.
+  schedulePass(simulator);
+}
+
 void EasyBackfill::schedulePass(sim::Simulator& simulator) {
   simulator.counters().inc(obs::Counter::FullPasses);
   SPS_TRACE(&simulator.recorder(),

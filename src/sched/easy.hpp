@@ -53,6 +53,11 @@ class EasyBackfill final : public sim::SchedulingPolicy {
   void onSimulationStart(sim::Simulator& simulator) override;
   void onJobArrival(sim::Simulator& simulator, JobId job) override;
   void onJobCompletion(sim::Simulator& simulator, JobId job) override;
+  /// Cancellation only ever removes a queue entry — the ledger tracks
+  /// running jobs and the head's reservation is recomputed per pass, so
+  /// there is no bound future state to repair.
+  [[nodiscard]] bool supportsCancel() const override { return true; }
+  void onJobCancelled(sim::Simulator& simulator, JobId job) override;
   void onSimulationEnd(sim::Simulator& simulator) override;
 
   /// Number of backfilled starts (started ahead of an earlier-submitted

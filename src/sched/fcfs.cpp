@@ -1,5 +1,7 @@
 #include "sched/fcfs.hpp"
 
+#include <algorithm>
+
 #include "sim/simulator.hpp"
 
 namespace sps::sched {
@@ -10,6 +12,14 @@ void FcfsScheduler::onJobArrival(sim::Simulator& simulator, JobId job) {
 }
 
 void FcfsScheduler::onJobCompletion(sim::Simulator& simulator, JobId /*job*/) {
+  dispatch(simulator);
+}
+
+void FcfsScheduler::onJobCancelled(sim::Simulator& simulator, JobId job) {
+  const auto it = std::find(queue_.begin(), queue_.end(), job);
+  SPS_CHECK_MSG(it != queue_.end(), "cancelled job " << job << " not queued");
+  queue_.erase(it);
+  // Removing the head (or any blocker) may unblock the jobs behind it.
   dispatch(simulator);
 }
 

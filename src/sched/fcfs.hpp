@@ -17,6 +17,8 @@ class FcfsScheduler final : public sim::SchedulingPolicy {
 
   void onJobArrival(sim::Simulator& simulator, JobId job) override;
   void onJobCompletion(sim::Simulator& simulator, JobId job) override;
+  [[nodiscard]] bool supportsCancel() const override { return true; }
+  void onJobCancelled(sim::Simulator& simulator, JobId job) override;
   void onSimulationEnd(sim::Simulator& simulator) override;
 
  private:

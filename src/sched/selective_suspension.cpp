@@ -169,6 +169,20 @@ void SelectiveSuspension::onSuspendDrained(sim::Simulator& simulator,
   dispatch(simulator);
 }
 
+void SelectiveSuspension::onJobCancelled(sim::Simulator& simulator,
+                                         JobId job) {
+  // Drop the cancelled job's capacity claim, if it held one; the fenced
+  // processors become dispatchable again immediately.
+  const auto it =
+      std::find_if(claims_.begin(), claims_.end(),
+                   [job](const Claim& c) { return c.job == job; });
+  if (it != claims_.end()) {
+    claims_.erase(it);
+    claimsDirty_ = true;
+  }
+  dispatch(simulator);
+}
+
 void SelectiveSuspension::onTimer(sim::Simulator& simulator,
                                   std::uint64_t tag) {
   SPS_CHECK(tag == kTickTag);

@@ -112,6 +112,11 @@ class SelectiveSuspension final : public sim::SchedulingPolicy {
   void onJobCompletion(sim::Simulator& simulator, JobId job) override;
   void onSuspendDrained(sim::Simulator& simulator, JobId job) override;
   void onTimer(sim::Simulator& simulator, std::uint64_t tag) override;
+  /// Idle membership lives in the kernel PriorityIndex, which follows the
+  /// ->Cancelled transition like any other departure; the only policy-owned
+  /// reference to repair is a capacity claim held by the cancelled job.
+  [[nodiscard]] bool supportsCancel() const override { return true; }
+  void onJobCancelled(sim::Simulator& simulator, JobId job) override;
   void onSimulationEnd(sim::Simulator& simulator) override;
 
   /// Preemptions initiated (== victims suspended) so far.

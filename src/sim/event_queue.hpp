@@ -13,8 +13,13 @@
 //    buckets; only the bucket under the cursor is ever sorted, so the
 //    common push/pop pair is O(1) amortized.
 //
-// Both orders are the same total order (time, then insertion sequence), so
-// simulations replay bit-identically regardless of the queue kind. The
+// Both orders are the same total order (time, then band, then insertion
+// sequence), so simulations replay bit-identically regardless of the queue
+// kind. The band puts JobArrival ahead of every other event type at the
+// same instant: batch construction pushes all arrivals first (so they won
+// same-time ties by sequence number alone), and ranking arrivals explicitly
+// keeps streamed-in submissions — pushed *after* dynamic events already in
+// the queue — firing in exactly the batch order. Within a band, the
 // sequence number makes ordering total and deterministic: two events at the
 // same instant fire in the order they were scheduled.
 //
@@ -48,9 +53,17 @@ struct Event {
   std::uint64_t generation = 0;  ///< completion-validity counter
 };
 
+/// Same-instant rank: arrivals fire before every other event type at the
+/// same timestamp, so a submission streamed in mid-run (pushed after dynamic
+/// events with earlier sequence numbers) still fires in the position the
+/// batch path would have given it.
+[[nodiscard]] inline std::uint8_t eventBand(EventType type) {
+  return type == EventType::JobArrival ? 0 : 1;
+}
+
 enum class QueueKind : std::uint8_t { Calendar, BinaryHeap };
 
-/// Reference implementation: binary min-heap over (time, seq).
+/// Reference implementation: binary min-heap over (time, band, seq).
 class BinaryHeapEventQueue {
  public:
   void push(const Event& e) { heap_.push(e); }
@@ -67,6 +80,8 @@ class BinaryHeapEventQueue {
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (eventBand(a.type) != eventBand(b.type))
+        return eventBand(a.type) > eventBand(b.type);
       return a.seq > b.seq;
     }
   };
@@ -80,8 +95,9 @@ class BinaryHeapEventQueue {
 ///  * the ring covers absolute buckets [cur_, farStart_), with
 ///    farStart_ - cur_ <= kBuckets, so slots never alias;
 ///  * far_ holds every event whose bucket is >= farStart_;
-///  * if the queue is non-empty, the cursor bucket is sorted by (time, seq)
-///    and has unconsumed events at [curPos_, size), so nextTime() is O(1).
+///  * if the queue is non-empty, the cursor bucket is sorted by
+///    (time, band, seq) and has unconsumed events at [curPos_, size), so
+///    nextTime() is O(1).
 ///
 /// Pushes at or before the cursor bucket (same-timestamp cascades, which
 /// the simulator produces constantly) binary-insert into the unconsumed
@@ -111,6 +127,8 @@ class CalendarEventQueue {
   }
   static bool earlier(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;
+    if (eventBand(a.type) != eventBand(b.type))
+      return eventBand(a.type) < eventBand(b.type);
     return a.seq < b.seq;
   }
 

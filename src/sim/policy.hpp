@@ -40,6 +40,20 @@ class SchedulingPolicy {
   /// A timer previously armed with Simulator::scheduleTimer fired.
   virtual void onTimer(Simulator& /*simulator*/, std::uint64_t /*tag*/) {}
 
+  /// Whether this policy tolerates Simulator::cancelJob removing one of its
+  /// pending (Queued/Suspended) jobs mid-run. Policies that bind future
+  /// state to specific jobs at decision time (reservation ledgers, gang
+  /// rotations) return false until they learn to repair that state; the
+  /// simulator then rejects the cancel instead of corrupting them.
+  [[nodiscard]] virtual bool supportsCancel() const { return false; }
+
+  /// A Queued or Suspended job was cancelled (Simulator::cancelJob). The
+  /// simulator has already done the lifecycle bookkeeping — the job is in
+  /// state Cancelled and off the pending lists — so the policy only drops
+  /// its own references (queue entries, claims). Never fires unless
+  /// supportsCancel() returned true.
+  virtual void onJobCancelled(Simulator& /*simulator*/, JobId /*job*/) {}
+
   /// Called once after the last event, for end-of-run assertions.
   virtual void onSimulationEnd(Simulator& /*simulator*/) {}
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -27,6 +28,7 @@ const char* transitionName(JobState from, JobState to) {
     case JobState::Suspended:
       return from == JobState::Suspending ? "drained" : "suspend";
     case JobState::Finished: return "finish";
+    case JobState::Cancelled: return "cancel";
     case JobState::NotArrived: break;
   }
   return "transition";
@@ -53,6 +55,7 @@ const char* jobStateName(JobState state) {
     case JobState::Suspending: return "Suspending";
     case JobState::Suspended: return "Suspended";
     case JobState::Finished: return "Finished";
+    case JobState::Cancelled: return "Cancelled";
   }
   return "?";
 }
@@ -77,53 +80,196 @@ Simulator::Simulator(const workload::Trace& trace, SchedulingPolicy& policy,
     events_.push(j.submit, EventType::JobArrival, j.id);
 }
 
-void Simulator::run() {
-  policy_.onSimulationStart(*this);
-  while (!events_.empty()) {
-    const Event e = events_.pop();
-    SPS_CHECK_MSG(e.time >= now_, "event time " << e.time << " before now "
-                                                << now_);
-    if (!steadySnapshotTaken_ && e.time >= lastSubmit_) {
-      // Integral through the last arrival instant, taken before any state
-      // change at or after it.
-      busyAtLastSubmit_ = machine_.busyProcSeconds(lastSubmit_);
-      steadySnapshotTaken_ = true;
-    }
-    if (e.time != now_) {
-      ++epoch_;
-      obs_->counters.inc(obs::Counter::SimClockAdvances);
-      const Time prev = now_;
-      now_ = e.time;
-      registry_.notifyClock(*this, prev, now_);
-    }
-    ++eventsProcessed_;
-    obs_->counters.inc(obs::Counter::SimEvents);
-    registry_.notifyEvent(*this, e);
-    SPS_TRACE(obs_, obs::instant("sim", eventTypeName(e.type), now_)
-                        .arg("payload",
-                             static_cast<std::int64_t>(e.payload)));
-    switch (e.type) {
-      case EventType::JobArrival:
-        handleArrival(static_cast<JobId>(e.payload));
-        break;
-      case EventType::JobCompletion:
-        handleCompletion(static_cast<JobId>(e.payload), e.generation);
-        break;
-      case EventType::SuspendDrained:
-        handleSuspendDrained(static_cast<JobId>(e.payload));
-        break;
-      case EventType::Timer:
-        policy_.onTimer(*this, e.payload);
-        break;
-    }
+namespace {
+
+/// Streaming-construction input check: there is no trace to validate, so
+/// the machine size must be vetted here — before the Machine member is
+/// built, whose own guard is an invariant (programmer) check, not an
+/// input one.
+std::uint32_t checkedMachineProcs(const std::string& name,
+                                  std::uint32_t machineProcs) {
+  if (machineProcs == 0)
+    throw InputError("trace '" + name + "': machineProcs must be positive");
+  return machineProcs;
+}
+
+}  // namespace
+
+Simulator::Simulator(std::string traceName, std::uint32_t machineProcs,
+                     SchedulingPolicy& policy, Config config)
+    : trace_{std::move(traceName), machineProcs, {}},
+      policy_(policy),
+      config_(config),
+      machine_(checkedMachineProcs(trace_.name, machineProcs)),
+      events_(config.queueKind),
+      owedRef_(machineProcs, 0) {
+  if (config.recorder != nullptr) obs_ = config.recorder;
+}
+
+JobId Simulator::submit(workload::Job job) {
+  SPS_CHECK_MSG(!finalized_, "submit() after drain()");
+  job.id = static_cast<JobId>(trace_.jobs.size());
+  {
+    std::ostringstream ctx;
+    ctx << "submit to '" << trace_.name << "' (job " << job.id << "): ";
+    if (job.runtime <= 0)
+      throw InputError(ctx.str() + "runtime must be positive");
+    if (job.estimate < job.runtime)
+      throw InputError(ctx.str() + "estimate below runtime (jobs are killed "
+                                   "at their wall-clock limit; clamp first)");
+    if (job.procs == 0) throw InputError(ctx.str() + "procs must be >= 1");
+    if (job.procs > trace_.machineProcs)
+      throw InputError(ctx.str() + "procs exceed machine size");
+    if (job.submit < lastSubmit_ && !trace_.jobs.empty())
+      throw InputError(ctx.str() + "out-of-order submit time " +
+                       std::to_string(job.submit) + " (stream is at " +
+                       std::to_string(lastSubmit_) + ")");
+    if (job.submit < now_)
+      throw InputError(ctx.str() + "submit time " +
+                       std::to_string(job.submit) +
+                       " in the simulated past (clock is at " +
+                       std::to_string(now_) + ")");
   }
+  if (trace_.jobs.empty()) firstSubmit_ = job.submit;
+  if (job.submit > lastSubmit_) {
+    // The steady-state utilization window [firstSubmit, lastSubmit] just
+    // grew; re-arm the snapshot so the next dispatched event at or past the
+    // new boundary retakes it.
+    lastSubmit_ = job.submit;
+    steadySnapshotTaken_ = false;
+  }
+  trace_.jobs.push_back(job);
+  exec_.emplace_back();
+  states_.push_back(JobState::NotArrived);
+  listPos_.push_back(0);
+  ++unfinished_;
+  ++epoch_;  // trace contents are scheduler-visible state
+  events_.push(job.submit, EventType::JobArrival, job.id);
+  return job.id;
+}
+
+bool Simulator::cancelJob(JobId id) {
+  SPS_CHECK_MSG(id < trace_.jobs.size(), "cancelJob(" << id << "): no such job");
+  JobExec& x = exec_[id];
+  const JobState from = states_[id];
+  switch (from) {
+    case JobState::NotArrived:
+      // Arrival not yet dispatched: mark the job Cancelled and let the
+      // pending arrival event fall through handleArrival as a no-op. No
+      // policy ever saw the job, so no policy hook fires.
+      break;
+    case JobState::Queued:
+      if (!policy_.supportsCancel()) return false;
+      removeFrom(queued_, id);
+      queuedWork_ -= queuedWorkOf(id);
+      break;
+    case JobState::Suspended:
+      if (!policy_.supportsCancel()) return false;
+      owedRemove(x.procs);
+      removeFrom(suspended_, id);
+      break;
+    case JobState::Running:
+    case JobState::Suspending:
+      // Withdrawing a job that holds processors (or is draining onto disk)
+      // is a kill, not a cancel; the service layer reports it as such.
+      return false;
+    case JobState::Finished:
+    case JobState::Cancelled:
+      return false;
+  }
+  if (x.waitSince != kNoTime) {
+    x.accumWait += now_ - x.waitSince;
+    x.waitSince = kNoTime;
+  }
+  states_[id] = JobState::Cancelled;
+  SPS_CHECK(unfinished_ > 0);
+  --unfinished_;
+  notifyStateChange(id, from, JobState::Cancelled);
+  if (from != JobState::NotArrived) policy_.onJobCancelled(*this, id);
+  return true;
+}
+
+void Simulator::ensureStarted() {
+  if (started_) return;
+  started_ = true;
+  policy_.onSimulationStart(*this);
+}
+
+void Simulator::dispatchOne() {
+  const Event e = events_.pop();
+  SPS_CHECK_MSG(e.time >= now_, "event time " << e.time << " before now "
+                                              << now_);
+  if (!steadySnapshotTaken_ && e.time >= lastSubmit_) {
+    // Integral through the last arrival instant, taken before any state
+    // change at or after it. A later submit() raising lastSubmit_ re-arms
+    // the snapshot; state changes at exactly lastSubmit_ have zero measure
+    // in the integral, so the retaken value matches the batch one.
+    busyAtLastSubmit_ = machine_.busyProcSeconds(lastSubmit_);
+    steadySnapshotTaken_ = true;
+  }
+  if (e.time != now_) {
+    ++epoch_;
+    obs_->counters.inc(obs::Counter::SimClockAdvances);
+    const Time prev = now_;
+    now_ = e.time;
+    registry_.notifyClock(*this, prev, now_);
+  }
+  ++eventsProcessed_;
+  obs_->counters.inc(obs::Counter::SimEvents);
+  registry_.notifyEvent(*this, e);
+  SPS_TRACE(obs_, obs::instant("sim", eventTypeName(e.type), now_)
+                      .arg("payload",
+                           static_cast<std::int64_t>(e.payload)));
+  switch (e.type) {
+    case EventType::JobArrival:
+      handleArrival(static_cast<JobId>(e.payload));
+      break;
+    case EventType::JobCompletion:
+      handleCompletion(static_cast<JobId>(e.payload), e.generation);
+      break;
+    case EventType::SuspendDrained:
+      handleSuspendDrained(static_cast<JobId>(e.payload));
+      break;
+    case EventType::Timer:
+      policy_.onTimer(*this, e.payload);
+      break;
+  }
+}
+
+bool Simulator::step() {
+  ensureStarted();
+  if (events_.empty()) return false;
+  dispatchOne();
+  return true;
+}
+
+void Simulator::runUntil(Time horizon) {
+  ensureStarted();
+  while (!events_.empty() && events_.nextTime() <= horizon) dispatchOne();
+}
+
+void Simulator::drain() {
+  if (finalized_) return;
+  ensureStarted();
+  while (!events_.empty()) dispatchOne();
   SPS_CHECK_MSG(unfinished_ == 0,
                 unfinished_ << " jobs never finished — policy starved them");
+  finalized_ = true;
   policy_.onSimulationEnd(*this);
+}
+
+void Simulator::run() {
+  runUntil(kTimeMax);
+  drain();
+}
+
+Time Simulator::nextEventTime() const {
+  return events_.empty() ? kNoTime : events_.nextTime();
 }
 
 void Simulator::handleArrival(JobId id) {
   JobExec& x = exec_[id];
+  if (states_[id] == JobState::Cancelled) return;  // cancelled before arrival
   SPS_CHECK(states_[id] == JobState::NotArrived);
   states_[id] = JobState::Queued;
   x.remainingWork = job(id).runtime;
@@ -421,6 +567,7 @@ void Simulator::auditState() const {
         break;
       case JobState::NotArrived:
       case JobState::Finished:
+      case JobState::Cancelled:
         break;
     }
   }

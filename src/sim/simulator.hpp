@@ -2,7 +2,11 @@
 // scheduling ("a locally developed simulator", Section III of the paper).
 //
 // Mechanics owned here, policy decisions delegated to SchedulingPolicy:
-//   * event loop over arrivals, completions, suspend-drains, and timers;
+//   * steppable event loop over arrivals, completions, suspend-drains, and
+//     timers (step / runUntil / drain; run() is the batch wrapper);
+//   * streaming ingest: submit() injects jobs after construction and
+//     cancelJob() withdraws pending ones, so an online driver
+//     (core::SchedulerService) can feed the same core a live stream;
 //   * named-processor allocation (local preemption: a suspended job resumes
 //     on its exact original processors);
 //   * per-job execution state: remaining work, accumulated wait (frozen
@@ -32,6 +36,7 @@ enum class JobState : std::uint8_t {
   Suspending,  ///< preempted, processors still held for the write-out
   Suspended,   ///< preempted and drained; must resume on savedProcs
   Finished,
+  Cancelled,   ///< withdrawn via cancelJob before completing; terminal
 };
 
 [[nodiscard]] const char* jobStateName(JobState state);
@@ -137,36 +142,101 @@ class ObserverRegistry {
   std::vector<ClockFn> clock_;
 };
 
+/// Simulator knobs. This is the single simulator-facing options struct: the
+/// CLI fills core::SimulationOptions, which embeds one of these (as `.sim`)
+/// and hands it through Runner to the Simulator unchanged — no field is
+/// threaded twice.
+struct SimulatorConfig {
+  /// nullptr = suspension and resumption are free (Sections III-IV).
+  const OverheadPolicy* overhead = nullptr;
+  /// Observability bundle (counters + optional trace sink). nullptr = the
+  /// simulator uses an internal Recorder; supply one to keep counters and
+  /// sink wiring alive after the simulator is destroyed (core::Runner
+  /// harvests through metrics::collect either way).
+  obs::Recorder* recorder = nullptr;
+  /// Pending-event structure. Calendar (the default) and BinaryHeap pop
+  /// the identical (time, band, seq) order, so schedules are bit-identical
+  /// either way; the golden suite and the fuzzer pin one mode to each
+  /// kind to keep that claim continuously tested.
+  QueueKind queueKind = QueueKind::Calendar;
+};
+
 class Simulator {
  public:
-  struct Config {
-    /// nullptr = suspension and resumption are free (Sections III-IV).
-    const OverheadPolicy* overhead = nullptr;
-    /// Observability bundle (counters + optional trace sink). nullptr = the
-    /// simulator uses an internal Recorder; supply one to keep counters and
-    /// sink wiring alive after the simulator is destroyed (core::Runner
-    /// harvests through metrics::collect either way).
-    obs::Recorder* recorder = nullptr;
-    /// Pending-event structure. Calendar (the default) and BinaryHeap pop
-    /// the identical (time, seq) order, so schedules are bit-identical
-    /// either way; the golden suite and the fuzzer pin one mode to each
-    /// kind to keep that claim continuously tested.
-    QueueKind queueKind = QueueKind::Calendar;
-  };
+  using Config = SimulatorConfig;
 
-  /// The trace must satisfy validateTrace(). The policy and trace must
-  /// outlive the simulator.
+  /// Batch construction: every job of the trace is pre-submitted (the trace
+  /// must satisfy validateTrace(); the simulator keeps its own copy). The
+  /// policy must outlive the simulator.
   Simulator(const workload::Trace& trace, SchedulingPolicy& policy,
             Config config);
   Simulator(const workload::Trace& trace, SchedulingPolicy& policy)
       : Simulator(trace, policy, Config{}) {}
 
-  /// Run to completion (event queue empty). Every job finishes — a policy
-  /// that strands jobs trips an invariant check at the end.
+  /// Streaming construction: an empty machine-only workload. Jobs enter
+  /// exclusively through submit(); run()/drain() on a simulator that never
+  /// receives one is a no-op beyond the policy start/end hooks.
+  Simulator(std::string traceName, std::uint32_t machineProcs,
+            SchedulingPolicy& policy, Config config);
+
+  // --- run loop ----------------------------------------------------------
+  // The loop is steppable: between any two dispatched events the clock,
+  // event queue, job sets, observer channels, and every accessor below are
+  // all valid and mutually consistent ("paused state"). run() is literally
+  // runUntil(kTimeMax); drain();.
+
+  /// Dispatch the single earliest pending event. Returns false (and does
+  /// nothing) if none is pending. The first dispatch anywhere fires
+  /// SchedulingPolicy::onSimulationStart.
+  bool step();
+
+  /// Dispatch every event with time <= horizon. The clock only ever
+  /// advances to times of dispatched events, so after return
+  /// now() <= horizon and nextEventTime() (if any) > horizon.
+  void runUntil(Time horizon);
+
+  /// Dispatch everything left, then finalize: check no job was stranded
+  /// (every submitted job Finished or Cancelled) and fire
+  /// SchedulingPolicy::onSimulationEnd. Idempotent; submit() after drain()
+  /// is rejected.
+  void drain();
+
+  /// Run to completion: runUntil(kTimeMax); drain();.
   void run();
 
-  // --- clock & static data ---------------------------------------------
+  /// Earliest pending event time, or kNoTime when the queue is empty.
+  [[nodiscard]] Time nextEventTime() const;
+  /// True once drain() has finalized the run.
+  [[nodiscard]] bool drained() const { return finalized_; }
+  /// Jobs submitted but not yet Finished/Cancelled.
+  [[nodiscard]] std::uint32_t unfinishedJobs() const { return unfinished_; }
+
+  // --- streaming ingest --------------------------------------------------
+  /// Inject a job after construction. `job.id` is assigned by the simulator
+  /// (dense, in submission order) and returned. Requirements, checked:
+  /// runtime > 0, estimate >= runtime, 1 <= procs <= machine, memory and
+  /// submit non-negative, and submit >= max(now(), lastSubmit()) — the
+  /// stream is monotone in submit time, like the trace files; out-of-order
+  /// submissions are rejected with InputError. Feeding a trace's jobs
+  /// through submit() one step() at a time replays the batch run
+  /// bit-identically (the golden-equivalence discipline).
+  JobId submit(workload::Job job);
+
+  /// Withdraw a pending job. Succeeds — true, job becomes Cancelled — when
+  /// the job is NotArrived (submitted, arrival not yet dispatched), or when
+  /// it is Queued/Suspended *and* the policy declares supportsCancel().
+  /// Running/Suspending/terminal jobs (and any pending job under a
+  /// non-cancellable policy) are left untouched — returns false. Cancelled
+  /// is terminal: the job's processors are never held, its metrics row is
+  /// excluded from per-job aggregates.
+  bool cancelJob(JobId id);
+
+  // --- clock & workload data ---------------------------------------------
   [[nodiscard]] Time now() const { return now_; }
+  /// The workload as submitted so far — the simulator's own copy. Grows at
+  /// each submit(); a job's row is immutable once accepted, so references
+  /// into `jobs` stay valid only until the next submit() (indexes by JobId
+  /// are always safe).
   [[nodiscard]] const workload::Trace& trace() const { return trace_; }
   [[nodiscard]] const workload::Job& job(JobId id) const {
     return trace_.jobs[id];
@@ -291,7 +361,7 @@ class Simulator {
     return busyAtLastSubmit_;
   }
   [[nodiscard]] Time lastSubmit() const { return lastSubmit_; }
-  /// Last completion time (valid after run()).
+  /// Latest completion time dispatched so far; final once drained().
   [[nodiscard]] Time lastFinish() const { return lastFinish_; }
   [[nodiscard]] Time firstSubmit() const { return firstSubmit_; }
   [[nodiscard]] std::uint64_t totalSuspensions() const {
@@ -307,7 +377,10 @@ class Simulator {
 
   // --- observability -----------------------------------------------------
   /// The typed observer registry: state changes, dispatched events, clock
-  /// advances. Subscribe before run(); see ObserverRegistry.
+  /// advances. Subscribe before the first step()/runUntil()/run() dispatch;
+  /// between steps the channels stay armed and consistent with the paused
+  /// state, and submit()/cancelJob() fire them like any other transition
+  /// source. See ObserverRegistry.
   [[nodiscard]] ObserverRegistry& observers() { return registry_; }
   [[nodiscard]] const ObserverRegistry& observers() const { return registry_; }
 
@@ -319,6 +392,10 @@ class Simulator {
   [[nodiscard]] obs::Counters& counters() const { return obs_->counters; }
 
  private:
+  /// Fire onSimulationStart exactly once, before the first dispatch.
+  void ensureStarted();
+  /// Pop and dispatch the earliest event; requires a non-empty queue.
+  void dispatchOne();
   void handleArrival(JobId id);
   void handleCompletion(JobId id, std::uint64_t generation);
   void handleSuspendDrained(JobId id);
@@ -333,7 +410,10 @@ class Simulator {
     return static_cast<double>(j.procs) * static_cast<double>(j.estimate);
   }
 
-  const workload::Trace& trace_;
+  /// Owned: batch construction copies the input trace, streaming ingest
+  /// appends to it, so trace() describes exactly what was submitted either
+  /// way.
+  workload::Trace trace_;
   SchedulingPolicy& policy_;
   Config config_;
   Machine machine_;
@@ -362,6 +442,8 @@ class Simulator {
   std::uint64_t eventsProcessed_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint32_t unfinished_ = 0;
+  bool started_ = false;    ///< onSimulationStart fired
+  bool finalized_ = false;  ///< drain() completed
   ObserverRegistry registry_;
   /// Fallback Recorder when Config::recorder is null; obs_ always points at
   /// a live Recorder so the accessors are branch-free. Mutable because

@@ -172,7 +172,7 @@ TEST(Integration, OverheadBarelyMovesSsResults) {
   // the SS scheme".
   const sched::DiskSwapOverhead overhead(ctcTrace());
   core::SimulationOptions withOverhead;
-  withOverhead.overhead = &overhead;
+  withOverhead.sim.overhead = &overhead;
   const auto plain =
       core::runSimulation(ctcTrace(), spec(PolicyKind::SelectiveSuspension));
   const auto loaded = core::runSimulation(

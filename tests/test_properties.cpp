@@ -102,7 +102,7 @@ TEST_P(SchedulerProperty, BitIdenticalReplay) {
   spec.kind = param.kind;
   sched::DiskSwapOverhead overhead(trace, 16.0);
   core::SimulationOptions options;
-  if (param.overhead) options.overhead = &overhead;
+  if (param.overhead) options.sim.overhead = &overhead;
   const auto a = core::runSimulation(trace, spec, options);
   const auto b = core::runSimulation(trace, spec, options);
   ASSERT_EQ(a.jobs.size(), b.jobs.size());

@@ -141,7 +141,10 @@ int main(int argc, char** argv) {
       std::cerr << "sps_fuzz: " << opt.replayFile << ": " << e.what() << "\n";
       return 2;
     }
-    const check::DiffOutcome outcome = harness.diff(c);
+    check::DiffOutcome outcome = harness.diff(c);
+    // The streamed lane replays too, so ingest-boundary repros reproduce;
+    // the chop seed derives from --seed as in the fuzz loop.
+    if (outcome.ok()) outcome = harness.diffStreamed(c, opt.seed);
     std::cout << opt.replayFile << ": " << c.trace.jobs.size() << " jobs, "
               << c.policyToken << ", "
               << (outcome.ok() ? "clean" : "FAILING") << "\n";
@@ -176,12 +179,26 @@ int main(int argc, char** argv) {
       check::FuzzCase c = check::makeFuzzCase(caseSeed, token);
       check::DiffOutcome outcome = harness.diff(c);
       ++diffs;
+      if (!outcome.ok()) {
+        ++failures;
+        std::cerr << "FAIL iter " << i << " seed " << caseSeed << " policy "
+                  << token << "\n";
+        const check::FuzzCase small = harness.shrink(c, opt.shrinkRuns);
+        emitRepro(opt, small, caseSeed, harness.diff(small));
+        continue;
+      }
+      // Ingest-boundary lane: the same case replayed through the streaming
+      // API in seeded coarse segments must match its batch schedule bit for
+      // bit under both kernel modes. Streamed failures are emitted unshrunk
+      // (the minimizer's oracle is the kernel diff, not this one); --replay
+      // runs this lane too, with the case seed derived from --seed.
+      outcome = harness.diffStreamed(c, caseSeed);
+      ++diffs;
       if (outcome.ok()) continue;
       ++failures;
-      std::cerr << "FAIL iter " << i << " seed " << caseSeed << " policy "
-                << token << "\n";
-      const check::FuzzCase small = harness.shrink(c, opt.shrinkRuns);
-      emitRepro(opt, small, caseSeed, harness.diff(small));
+      std::cerr << "FAIL (streamed) iter " << i << " seed " << caseSeed
+                << " policy " << token << "\n";
+      emitRepro(opt, c, caseSeed, outcome);
     }
     if (!opt.quiet && (i + 1) % 25 == 0)
       std::cout << "iter " << (i + 1) << "/" << opt.runs << ": " << diffs

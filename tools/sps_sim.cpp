@@ -30,6 +30,7 @@
 #include "core/progress.hpp"
 #include "core/replicate.hpp"
 #include "core/runner.hpp"
+#include "core/scheduler_service.hpp"
 #include "core/simulation.hpp"
 #include "metrics/json.hpp"
 #include "metrics/openmetrics.hpp"
@@ -208,6 +209,28 @@ core::CliCommands makeCli(CliOptions& opt) {
   sweep.flag("--csv", &opt.csv, "CSV tables instead of aligned ASCII");
   sweep.option("--metrics-out", &opt.metricsOut, "FILE",
                "write an OpenMetrics text exposition of every run");
+
+  core::CliConfig& serve =
+      cli.command("serve", "online scheduler service on stdin/stdout");
+  serve.section("Machine");
+  serve.option("--procs", &opt.procs, "N", "machine size (required)");
+  serve.section("Scheduler");
+  serve.option("--policy", &opt.policy, "NAME",
+               "fcfs | conservative | easy | sjf | ss | tss-online | is | "
+               "gang | depth (default: ss; tss needs offline calibration "
+               "and cannot serve)");
+  serve.option("--sf", &opt.sf, "F",
+               "suspension factor for ss/tss-online (default: 2)");
+  serve.option("--gang-slots", &opt.gangSlots, "N",
+               "gang multiprogramming level (default: 4)");
+  serve.option("--gang-quantum", &opt.gangQuantum, "SEC",
+               "gang time slice (default: 600)");
+  serve.option("--depth", &opt.depth, "K",
+               "reservation depth for depth (default: 2)");
+  addObsFlags(serve, opt);
+  serve.section("Output");
+  serve.option("--metrics-out", &opt.metricsOut, "FILE",
+               "write an OpenMetrics text exposition after drain");
 
   core::CliConfig& replicate =
       cli.command("replicate", "scheme set over independently-seeded runs");
@@ -582,6 +605,47 @@ int runReplicate(const CliOptions& opt, core::Runner& runner,
   return 0;
 }
 
+int runServe(const CliOptions& opt, const core::SimulationOptions& options) {
+  if (opt.procs == 0) fail("serve requires --procs (no trace to infer from)");
+  if (opt.policy == "tss")
+    fail("tss calibrates its protection limits from an offline NS run over "
+         "the whole workload; an online service cannot — use tss-online");
+  const bool parameterized = opt.policy == "ss" ||
+                             opt.policy == "tss-online" ||
+                             opt.policy == "depth";
+  core::ServiceConfig cfg;
+  cfg.traceName = "serve";
+  cfg.machineProcs = opt.procs;
+  try {
+    cfg.spec =
+        sched::specFromToken(parameterized ? opt.policy + ":1" : opt.policy);
+  } catch (const std::invalid_argument&) {
+    fail("unknown policy: " + opt.policy);
+  }
+  cfg.spec.label.clear();
+  if (opt.policy == "ss" || opt.policy == "tss-online")
+    cfg.spec.ss.suspensionFactor = opt.sf;
+  if (opt.policy == "tss-online") cfg.spec.ss.tssOnlineMultiplier = 1.5;
+  if (opt.policy == "depth") cfg.spec.depth.depth = opt.depth;
+  if (opt.policy == "gang") {
+    cfg.spec.gang.maxSlots = opt.gangSlots;
+    cfg.spec.gang.slotQuantum = opt.gangQuantum;
+  }
+  cfg.options = options;
+
+  core::SchedulerService service(std::move(cfg));
+  const metrics::RunStats stats = service.serve(std::cin, std::cout);
+  if (!opt.metricsOut.empty()) {
+    std::ofstream os(opt.metricsOut);
+    if (!os) fail("cannot open --metrics-out file: " + opt.metricsOut);
+    os << metrics::openMetrics(stats);
+    if (!os) fail("failed writing --metrics-out file: " + opt.metricsOut);
+    std::cerr << "wrote OpenMetrics exposition to " << opt.metricsOut << "\n";
+  }
+  std::cerr << metrics::summaryLine(stats) << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -623,11 +687,13 @@ int main(int argc, char** argv) {
         fail("replicate does not support --overhead (per-seed traces)");
       return runReplicate(opt, runner, options);
     }
+    // serve builds no workload: jobs arrive over the protocol.
+    if (command == "serve") return runServe(opt, options);
 
     const workload::Trace trace = buildWorkload(opt);
     if (opt.overhead) {
       overhead.emplace(trace, 2.0);
-      options.overhead = &*overhead;
+      options.sim.overhead = &*overhead;
     }
 
     if (command == "compare") return runCompare(opt, runner, trace, options);
