@@ -24,16 +24,6 @@ namespace {
 
 using sched::kernel::KernelMode;
 
-/// Resolve a case's spec, including the "tss:" bootstrap (limits from the
-/// trace's own NS run — deterministic and kernel-mode independent, so both
-/// lanes of a diff see identical limits).
-core::PolicySpec resolveSpec(const FuzzCase& c) {
-  core::PolicySpec spec = policyFromToken(c.policyToken);
-  if (c.policyToken.rfind("tss:", 0) == 0)
-    spec.ss.tssLimits = core::bootstrapTssLimits(c.trace);
-  return spec;
-}
-
 std::string describeTransition(const std::tuple<Time, JobId, int, int>& t) {
   std::ostringstream os;
   os << "t=" << std::get<0>(t) << " job=" << std::get<1>(t) << " "
@@ -214,6 +204,13 @@ std::vector<std::string> fuzzPolicyTokens() {
   return sched::knownPolicyTokens();
 }
 
+core::PolicySpec resolveCaseSpec(const FuzzCase& c) {
+  core::PolicySpec spec = policyFromToken(c.policyToken);
+  if (c.policyToken.rfind("tss:", 0) == 0)
+    spec.ss.tssLimits = core::bootstrapTssLimits(c.trace);
+  return spec;
+}
+
 workload::Trace makeFuzzTrace(std::uint64_t seed) {
   Rng rng(seed);
   static constexpr std::uint32_t kTinyMachines[] = {2, 3, 5, 8, 13, 32, 100};
@@ -250,7 +247,8 @@ template <typename Drive>
 RunRecord runRecorded(const CheckConfig& checks, const FuzzCase& c,
                       KernelMode mode, bool streamed, Drive&& drive,
                       std::string* violation) {
-  const core::PolicySpec spec = sched::withKernelMode(resolveSpec(c), mode);
+  const core::PolicySpec spec =
+      sched::withKernelMode(resolveCaseSpec(c), mode);
   const auto policy = core::makePolicy(spec);
   std::optional<sched::DiskSwapOverhead> overhead;
   sim::Simulator::Config config;
@@ -378,12 +376,21 @@ DiffOutcome DiffHarness::diff(const FuzzCase& c) const {
 }
 
 FuzzCase DiffHarness::shrink(const FuzzCase& c, std::size_t maxRuns) const {
+  return shrinkWith(
+      c, [this](const FuzzCase& candidate) { return !diff(candidate).ok(); },
+      maxRuns);
+}
+
+FuzzCase DiffHarness::shrinkWith(
+    const FuzzCase& c,
+    const std::function<bool(const FuzzCase&)>& stillFails,
+    std::size_t maxRuns) {
   FuzzCase best = c;
   std::size_t runs = 0;
   bool improved = true;
   // Delta-debugging lite: try dropping ever-smaller chunks; accept any
   // removal that keeps the case failing, restart from large chunks after
-  // progress. Bounded by maxRuns diff evaluations.
+  // progress. Bounded by maxRuns oracle evaluations.
   while (improved && best.trace.jobs.size() > 1 && runs < maxRuns) {
     improved = false;
     for (std::size_t chunk = best.trace.jobs.size() / 2;
@@ -396,7 +403,7 @@ FuzzCase DiffHarness::shrink(const FuzzCase& c, std::size_t maxRuns) const {
                  js.begin() + static_cast<std::ptrdiff_t>(start + chunk));
         workload::normalizeTrace(candidate.trace);
         ++runs;
-        if (!diff(candidate).ok()) {
+        if (stillFails(candidate)) {
           best = std::move(candidate);
           improved = true;
         } else {
@@ -413,6 +420,13 @@ void writeRepro(std::ostream& os, const FuzzCase& c) {
   os << "policy " << c.policyToken << "\n";
   os << "overhead " << (c.overhead ? 1 : 0) << "\n";
   os << "machine " << c.trace.machineProcs << "\n";
+  if (c.fedShards > 0) {
+    // Federated lane directives (absent on single-cluster repros, so every
+    // pre-federation corpus file still parses unchanged).
+    os << "shards " << c.fedShards << "\n";
+    os << "router " << c.fedRouter << "\n";
+    os << "delay " << c.fedDelay << "\n";
+  }
   os << "# job <submit> <runtime> <estimate> <procs> <memoryMb>\n";
   for (const workload::Job& j : c.trace.jobs)
     os << "job " << j.submit << " " << j.runtime << " " << j.estimate << " "
@@ -455,6 +469,18 @@ FuzzCase readRepro(std::istream& is) {
       if (!(fields >> c.trace.machineProcs) || c.trace.machineProcs == 0)
         throw InputError("repro line " + std::to_string(lineNo) +
                          ": bad machine size");
+    } else if (key == "shards") {
+      if (!(fields >> c.fedShards) || c.fedShards == 0)
+        throw InputError("repro line " + std::to_string(lineNo) +
+                         ": shards must be >= 1");
+    } else if (key == "router") {
+      if (!(fields >> c.fedRouter))
+        throw InputError("repro line " + std::to_string(lineNo) +
+                         ": router token missing");
+    } else if (key == "delay") {
+      if (!(fields >> c.fedDelay) || c.fedDelay < 0)
+        throw InputError("repro line " + std::to_string(lineNo) +
+                         ": delay must be non-negative");
     } else if (key == "job") {
       workload::Job j;
       if (!(fields >> j.submit >> j.runtime >> j.estimate >> j.procs >>

@@ -1,0 +1,90 @@
+#include "check/fleet_audit.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sps::check {
+
+namespace {
+
+[[noreturn]] void fleetViolation(const std::string& what) {
+  throw InvariantError("fleet conservation: " + what);
+}
+
+}  // namespace
+
+void auditFleetConservation(const workload::Trace& fleetTrace,
+                            const std::vector<metrics::RunStats>& shardStats,
+                            const std::vector<std::uint32_t>& assignments,
+                            const std::vector<Time>& effectiveSubmits,
+                            std::uint32_t shards, Time routingDelay) {
+  const std::size_t n = fleetTrace.jobs.size();
+  if (shards == 0) fleetViolation("no shards");
+  if (shardStats.size() != shards)
+    fleetViolation("shard result count does not match the shard count");
+  if (assignments.size() != n || effectiveSubmits.size() != n)
+    fleetViolation("routing record size does not match the fleet trace");
+
+  std::vector<std::uint64_t> routedCount(shards, 0);
+  // Work sums in exact integer arithmetic: runtime x procs never overflows
+  // 64 bits at fleet scale, while double accumulation would silently lose
+  // units past 2^53 proc-seconds (a 100k-processor, 10M-job fleet exceeds
+  // that) and order-dependent rounding would fake violations.
+  std::vector<std::uint64_t> routedWork(shards, 0);
+  for (const workload::Job& job : fleetTrace.jobs) {
+    const std::uint32_t target = assignments[job.id];
+    if (target >= shards) {
+      std::ostringstream os;
+      os << "job " << job.id << " assigned to missing shard " << target;
+      fleetViolation(os.str());
+    }
+    const auto home = static_cast<std::uint32_t>(job.id % shards);
+    const Time expected =
+        target == home ? job.submit : job.submit + routingDelay;
+    if (effectiveSubmits[job.id] != expected) {
+      std::ostringstream os;
+      os << "job " << job.id << " effective submit "
+         << effectiveSubmits[job.id] << " != " << expected
+         << (target == home ? " (home shard, no delay)"
+                            : " (forwarded: submit + delay)");
+      fleetViolation(os.str());
+    }
+    ++routedCount[target];
+    routedWork[target] +=
+        static_cast<std::uint64_t>(job.runtime) * job.procs;
+  }
+
+  std::uint64_t fleetWork = 0;
+  std::uint64_t fleetRouted = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const metrics::RunStats& stats = shardStats[s];
+    if (stats.jobs.size() != routedCount[s]) {
+      std::ostringstream os;
+      os << "shard " << s << " finished " << stats.jobs.size()
+         << " jobs but was routed " << routedCount[s];
+      fleetViolation(os.str());
+    }
+    std::uint64_t shardWork = 0;
+    for (const metrics::JobResult& job : stats.jobs) {
+      if (job.finish == kNoTime) {
+        std::ostringstream os;
+        os << "shard " << s << " job " << job.id << " never finished";
+        fleetViolation(os.str());
+      }
+      shardWork += static_cast<std::uint64_t>(job.runtime) * job.procs;
+    }
+    if (shardWork != routedWork[s]) {
+      std::ostringstream os;
+      os << "shard " << s << " completed " << shardWork
+         << " proc-seconds of work but was routed " << routedWork[s];
+      fleetViolation(os.str());
+    }
+    fleetWork += shardWork;
+    fleetRouted += routedWork[s];
+  }
+  if (fleetWork != fleetRouted)
+    fleetViolation("summed shard work does not equal the fleet trace's");
+}
+
+}  // namespace sps::check

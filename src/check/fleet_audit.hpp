@@ -1,0 +1,39 @@
+// Fleet conservation audit — the federation-level half of sps::check.
+//
+// The per-shard invariant oracle (InvariantChecker, armed inside every
+// shard by fed::Federation) proves each cluster's schedule is internally
+// sound; this audit proves the *routing* layer lost nothing in between:
+// every fleet job landed on exactly one cluster, at exactly its recorded
+// effective instant, with its work intact. Plain-argument signature on
+// purpose — check/ stays below fed/ in the layer order, so the federation
+// can call the audit without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace sps::check {
+
+/// Audit a completed federated run against its fleet trace and routing
+/// record. Throws InvariantError on the first violation:
+///
+///   * routing record sizes match the trace; every assignment names a
+///     real shard;
+///   * effective submits obey the forwarding model — submit untouched on
+///     the home shard (id % shards), submit + routingDelay elsewhere;
+///   * per-shard job counts equal the assignment counts, and every shard
+///     job completed (finish recorded);
+///   * work is conserved: summed runtime x procs across shard results
+///     equals the fleet trace's total, and per-shard submitted work
+///     matches the jobs routed there.
+void auditFleetConservation(const workload::Trace& fleetTrace,
+                            const std::vector<metrics::RunStats>& shardStats,
+                            const std::vector<std::uint32_t>& assignments,
+                            const std::vector<Time>& effectiveSubmits,
+                            std::uint32_t shards, Time routingDelay);
+
+}  // namespace sps::check

@@ -1,0 +1,42 @@
+#include "fed/router.hpp"
+
+#include "util/check.hpp"
+
+namespace sps::fed {
+
+std::uint32_t LeastLoadedRouter::route(const workload::Job&, std::uint64_t,
+                                       const std::vector<ShardView>& shards) {
+  std::uint32_t best = 0;
+  double bestPressure = shards[0].pressure();
+  for (std::uint32_t i = 1; i < shards.size(); ++i) {
+    const double p = shards[i].pressure();
+    if (p < bestPressure) {
+      best = i;
+      bestPressure = p;
+    }
+  }
+  return best;
+}
+
+std::uint32_t ReplayRouter::route(const workload::Job&, std::uint64_t seq,
+                                  const std::vector<ShardView>& shards) {
+  SPS_CHECK_MSG(seq < assignments_.size(),
+                "ReplayRouter: job seq beyond the recorded assignment vector");
+  const std::uint32_t shard = assignments_[seq];
+  SPS_CHECK_MSG(shard < shards.size(),
+                "ReplayRouter: recorded assignment names a missing shard");
+  return shard;
+}
+
+std::unique_ptr<JobRouter> routerFromToken(const std::string& token) {
+  if (token == "hash") return std::make_unique<StaticHashRouter>();
+  if (token == "least-loaded") return std::make_unique<LeastLoadedRouter>();
+  throw InputError("unknown router token: " + token +
+                   " (expected hash | least-loaded)");
+}
+
+std::vector<std::string> knownRouterTokens() {
+  return {"hash", "least-loaded"};
+}
+
+}  // namespace sps::fed

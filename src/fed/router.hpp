@@ -1,0 +1,105 @@
+// JobRouter — the placement seam of the cluster federation (sps::fed).
+//
+// A federated run partitions the machine into N identical clusters; every
+// fleet job must land on exactly one of them. The router makes that call,
+// once per job, in global submission order, at epoch barriers — the only
+// moments when every shard's state is quiescent and consistent — so any
+// routing rule is deterministic by construction, independent of the worker
+// pool size.
+//
+// Three bundled rules:
+//   * StaticHashRouter — shard = seq % shards. Stateless, the home-shard
+//     rule; the forwarding-delay model prices any deviation from it.
+//   * LeastLoadedRouter — smallest backlog, where backlog is the shard's
+//     queuedProcEstimateSeconds() snapshot (O(1) on the simulator) plus the
+//     work already routed there within the current epoch window. The
+//     in-window accounting makes a burst spread instead of dog-piling the
+//     shard that looked idle at the barrier.
+//   * ReplayRouter — reproduces a recorded assignment vector verbatim. The
+//     equivalence theorem runs through this: any federated schedule is
+//     replayable shard by shard as plain single-cluster simulations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace sps::fed {
+
+/// One shard's load picture at routing time. `backlogProcSeconds` is the
+/// simulator's queued procs x estimate aggregate sampled at the epoch
+/// barrier; `routedProcSeconds` accumulates the demand the router has
+/// already placed on the shard within the current window (reset at each
+/// barrier, maintained by the federation, not the router).
+struct ShardView {
+  std::uint32_t machineProcs = 0;
+  double backlogProcSeconds = 0.0;
+  double routedProcSeconds = 0.0;
+  [[nodiscard]] double pressure() const {
+    return (backlogProcSeconds + routedProcSeconds) /
+           static_cast<double>(machineProcs == 0 ? 1 : machineProcs);
+  }
+};
+
+/// Routing decision interface. route() is called exactly once per fleet
+/// job, in global (submit, seq) order; `seq` is the job's dense fleet id.
+/// Implementations must be deterministic functions of their arguments and
+/// any recorded state — the federation calls them single-threaded.
+class JobRouter {
+ public:
+  virtual ~JobRouter() = default;
+  [[nodiscard]] virtual std::uint32_t route(
+      const workload::Job& job, std::uint64_t seq,
+      const std::vector<ShardView>& shards) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// shard = seq % shards — the stateless home-shard rule.
+class StaticHashRouter final : public JobRouter {
+ public:
+  [[nodiscard]] std::uint32_t route(
+      const workload::Job&, std::uint64_t seq,
+      const std::vector<ShardView>& shards) override {
+    return static_cast<std::uint32_t>(seq % shards.size());
+  }
+  [[nodiscard]] std::string name() const override { return "hash"; }
+};
+
+/// Smallest pressure() wins; ties break to the lowest shard index so the
+/// rule stays deterministic when several shards are equally idle.
+class LeastLoadedRouter final : public JobRouter {
+ public:
+  [[nodiscard]] std::uint32_t route(
+      const workload::Job& job, std::uint64_t seq,
+      const std::vector<ShardView>& shards) override;
+  [[nodiscard]] std::string name() const override { return "least-loaded"; }
+};
+
+/// Replays a recorded assignment vector: job seq i goes to assignments[i].
+class ReplayRouter final : public JobRouter {
+ public:
+  explicit ReplayRouter(std::vector<std::uint32_t> assignments)
+      : assignments_(std::move(assignments)) {}
+  [[nodiscard]] std::uint32_t route(
+      const workload::Job&, std::uint64_t seq,
+      const std::vector<ShardView>&) override;
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+ private:
+  std::vector<std::uint32_t> assignments_;
+};
+
+/// Parse a router token ("hash" | "least-loaded") into a fresh router.
+/// Throws InputError on an unknown token. ("replay" needs an assignment
+/// vector and is constructed directly.)
+[[nodiscard]] std::unique_ptr<JobRouter> routerFromToken(
+    const std::string& token);
+
+/// The tokens routerFromToken accepts — the fuzzer's router lane list.
+[[nodiscard]] std::vector<std::string> knownRouterTokens();
+
+}  // namespace sps::fed

@@ -4,6 +4,9 @@
 // fuzzer finds (regression tests for fixed bugs); the stress-* files are
 // adversarial workloads dumped with `sps_fuzz --dump` to keep every policy
 // family exercised here even when the fuzzer has nothing new to say.
+// Repros carrying federated directives (shards/router/delay) route through
+// fed::diffFederated instead: the case runs as a federation and must equal
+// its per-shard single-cluster replays bit for bit.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "check/diff_harness.hpp"
+#include "fed/fed_diff.hpp"
 
 namespace sps {
 namespace {
@@ -39,10 +43,24 @@ TEST(FuzzCorpus, EveryReproDiffsClean) {
     ASSERT_TRUE(is) << "cannot open " << path;
     check::FuzzCase c;
     ASSERT_NO_THROW(c = check::readRepro(is));
-    const check::DiffOutcome outcome = harness.diff(c);
+    const check::DiffOutcome outcome =
+        c.fedShards > 0 ? fed::diffFederated(c) : harness.diff(c);
     EXPECT_TRUE(outcome.violation.empty()) << outcome.violation;
     EXPECT_TRUE(outcome.divergence.empty()) << outcome.divergence;
   }
+}
+
+// At least two corpus entries must keep the federated lane exercised.
+TEST(FuzzCorpus, CarriesFederatedRepros) {
+  std::size_t federated = 0;
+  for (const fs::path& path : corpusFiles()) {
+    std::ifstream is(path);
+    ASSERT_TRUE(is);
+    check::FuzzCase c;
+    ASSERT_NO_THROW(c = check::readRepro(is));
+    if (c.fedShards > 0) ++federated;
+  }
+  EXPECT_GE(federated, 2u);
 }
 
 // The repro format round-trips: write(read(f)) parses back to the same case.
@@ -61,6 +79,9 @@ TEST(FuzzCorpus, ReproFormatRoundTrips) {
     EXPECT_EQ(first.policyToken, second.policyToken);
     EXPECT_EQ(first.overhead, second.overhead);
     EXPECT_EQ(first.trace.machineProcs, second.trace.machineProcs);
+    EXPECT_EQ(first.fedShards, second.fedShards);
+    EXPECT_EQ(first.fedRouter, second.fedRouter);
+    EXPECT_EQ(first.fedDelay, second.fedDelay);
     ASSERT_EQ(first.trace.jobs.size(), second.trace.jobs.size());
     for (std::size_t i = 0; i < first.trace.jobs.size(); ++i) {
       EXPECT_EQ(first.trace.jobs[i].submit, second.trace.jobs[i].submit);

@@ -15,12 +15,28 @@ build="$repo/build-cov"
 
 cmake -B "$build" -S "$repo" -DSPS_COVERAGE=ON >/dev/null
 cmake --build "$build" -j"$(nproc)" >/dev/null
+
+# Fail loudly when the build tree was NOT configured with SPS_COVERAGE=ON
+# (e.g. a stale build-cov from before the flag, or a cache that pinned it
+# OFF): running the suite would silently produce an empty report.
+if ! grep -q '^SPS_COVERAGE:BOOL=ON$' "$build/CMakeCache.txt"; then
+  echo "coverage.sh: $build is not configured with SPS_COVERAGE=ON" \
+       "(stale cache?); delete build-cov and re-run" >&2
+  exit 1
+fi
+
 (cd "$build" && ctest --output-on-failure "$@" >/dev/null)
 
 # gcov writes per-source .gcov files; run it object-dir by object-dir so
 # every translation unit of the sps library is covered exactly once.
 gcovdir="$build/gcov-report"
 rm -rf "$gcovdir" && mkdir -p "$gcovdir"
+if [ -z "$(find "$build/src" -name '*.gcda' -print -quit)" ]; then
+  echo "coverage.sh: no .gcda files under $build/src — the instrumented" \
+       "library never ran (SPS_COVERAGE not compiled in, or the ctest" \
+       "selection executed nothing); refusing to report 0%" >&2
+  exit 1
+fi
 find "$build/src" -name '*.gcda' -print0 |
   (cd "$gcovdir" && xargs -0 gcov -r -s "$repo" >/dev/null 2>&1 || true)
 
